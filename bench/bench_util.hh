@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches.
+ *
+ * Each bench binary regenerates one table or figure of the paper.
+ * Results are memoized in ./valley_results_cache.csv so the benches
+ * that share the Fig. 11-17 grid only simulate it once
+ * (VALLEY_CACHE=0 disables). VALLEY_SCALE (0 < s <= 1) scales the
+ * workload problem sizes for quick runs.
+ */
+
+#ifndef VALLEY_BENCH_BENCH_UTIL_HH
+#define VALLEY_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/table.hh"
+#include "harness/experiment.hh"
+#include "workloads/profiler.hh"
+
+namespace valley {
+namespace bench {
+
+inline double
+envScale(double fallback = 1.0)
+{
+    if (const char *s = std::getenv("VALLEY_SCALE")) {
+        const double v = std::atof(s);
+        if (v > 0.0 && v <= 1.0)
+            return v;
+    }
+    return fallback;
+}
+
+inline void
+printHeader(const std::string &experiment, const std::string &what)
+{
+    std::printf("==================================================="
+                "=========================\n");
+    std::printf("%s — %s\n", experiment.c_str(), what.c_str());
+    std::printf("Get Out of the Valley (ISCA'18) reproduction; see "
+                "EXPERIMENTS.md\n");
+    std::printf("==================================================="
+                "=========================\n\n");
+}
+
+/** The Fig. 11-17 grid: valley set x all schemes, Table I machine. */
+inline harness::Grid
+valleyGrid(double scale = 1.0)
+{
+    harness::GridOptions o;
+    o.workloads = workloads::valleySet();
+    o.schemes = allSchemes();
+    o.scale = envScale(scale);
+    o.useCache = true;
+    o.progress = true;
+    return harness::runGrid(std::move(o));
+}
+
+/** The Fig. 20 grid: non-valley set x all schemes. */
+inline harness::Grid
+nonValleyGrid(double scale = 1.0)
+{
+    harness::GridOptions o;
+    o.workloads = workloads::nonValleySet();
+    o.schemes = allSchemes();
+    o.scale = envScale(scale);
+    o.useCache = true;
+    o.progress = true;
+    return harness::runGrid(std::move(o));
+}
+
+} // namespace bench
+} // namespace valley
+
+#endif // VALLEY_BENCH_BENCH_UTIL_HH

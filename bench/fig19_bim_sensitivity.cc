@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fig. 19 — sensitivity to the randomly generated BIM: three BIMs
+ * per Broad scheme (seeds 1-3), harmonic-mean speedup each.
+ */
+
+#include "bench_util.hh"
+
+using namespace valley;
+
+int
+main()
+{
+    bench::printHeader("Figure 19",
+                       "speedup for three randomly generated BIMs");
+    const double scale = bench::envScale();
+
+    TextTable t;
+    t.setHeader({"scheme", "BIM-1", "BIM-2", "BIM-3", "spread"});
+    for (Scheme s : {Scheme::PAE, Scheme::FAE, Scheme::ALL}) {
+        std::vector<std::string> row = {schemeName(s)};
+        double lo = 1e9, hi = 0.0;
+        for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+            harness::GridOptions o;
+            o.workloads = workloads::valleySet();
+            o.schemes = {Scheme::BASE, s};
+            o.bimSeed = seed;
+            o.scale = scale;
+            o.useCache = true;
+            o.progress = true;
+            const harness::Grid g = harness::runGrid(std::move(o));
+            const double sp = g.hmeanSpeedup(s);
+            lo = std::min(lo, sp);
+            hi = std::max(hi, sp);
+            row.push_back(TextTable::num(sp, 2));
+        }
+        row.push_back(TextTable::num(hi - lo, 2));
+        t.addRow(row);
+    }
+    std::printf("%s\n", t.toString().c_str());
+    std::printf("Paper shape: FAE and ALL are insensitive to the "
+                "specific BIM; PAE is slightly\nmore sensitive "
+                "(page-address inputs only), yet even its worst BIM "
+                "improves\nperformance substantially.\n");
+    return 0;
+}

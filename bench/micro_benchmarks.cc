@@ -1,0 +1,172 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks: cost of the BIM transform (the
+ * hardware the paper implements as a single-cycle XOR tree), entropy
+ * analysis throughput, FR-FCFS controller throughput and end-to-end
+ * simulator speed.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bim/bim_builder.hh"
+#include "common/bitops.hh"
+#include "common/rng.hh"
+#include "dram/dram_system.hh"
+#include "entropy/window_entropy.hh"
+#include "harness/experiment.hh"
+#include "workloads/profiler.hh"
+
+using namespace valley;
+
+// --- BIM ----------------------------------------------------------------
+
+static void
+BM_BimApply(benchmark::State &state)
+{
+    const AddressLayout layout = AddressLayout::hynixGddr5();
+    const auto mapper = mapping::makeScheme(
+        static_cast<Scheme>(state.range(0)), layout, 1);
+    XorShiftRng rng(7);
+    Addr a = rng.next() & bits::mask(30);
+    for (auto _ : state) {
+        a = mapper->map(a) + 64;
+        a &= bits::mask(30);
+        benchmark::DoNotOptimize(a);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BimApply)
+    ->Arg(static_cast<int>(Scheme::BASE))
+    ->Arg(static_cast<int>(Scheme::PM))
+    ->Arg(static_cast<int>(Scheme::PAE))
+    ->Arg(static_cast<int>(Scheme::FAE))
+    ->Arg(static_cast<int>(Scheme::ALL));
+
+static void
+BM_BimGenerateInvertible(benchmark::State &state)
+{
+    const AddressLayout layout = AddressLayout::hynixGddr5();
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        XorShiftRng rng(seed++);
+        const BitMatrix m = bim::randomBroad(
+            30, layout.randomizeTargets(), layout.pageMask(), rng);
+        benchmark::DoNotOptimize(m.row(8));
+    }
+}
+BENCHMARK(BM_BimGenerateInvertible);
+
+static void
+BM_BimInverse(benchmark::State &state)
+{
+    XorShiftRng rng(3);
+    BitMatrix m(30);
+    do {
+        for (unsigned r = 0; r < 30; ++r)
+            m.setRow(r, rng.next() & bits::mask(30));
+    } while (!m.invertible());
+    for (auto _ : state) {
+        auto inv = m.inverse();
+        benchmark::DoNotOptimize(inv->row(0));
+    }
+}
+BENCHMARK(BM_BimInverse);
+
+// --- Entropy ---------------------------------------------------------------
+
+static void
+BM_WindowEntropy(benchmark::State &state)
+{
+    XorShiftRng rng(11);
+    std::vector<double> bvr(static_cast<std::size_t>(state.range(0)));
+    for (double &v : bvr)
+        v = rng.uniform();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(windowEntropy(bvr, 12));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WindowEntropy)->Arg(256)->Arg(4096);
+
+static void
+BM_BvrAccumulate(benchmark::State &state)
+{
+    XorShiftRng rng(13);
+    std::vector<Addr> addrs(1024);
+    for (Addr &a : addrs)
+        a = rng.next() & bits::mask(30);
+    for (auto _ : state) {
+        BvrAccumulator acc(30);
+        for (Addr a : addrs)
+            acc.add(a);
+        benchmark::DoNotOptimize(acc.bvrs());
+    }
+    state.SetItemsProcessed(state.iterations() * addrs.size());
+}
+BENCHMARK(BM_BvrAccumulate);
+
+static void
+BM_ProfileWorkload(benchmark::State &state)
+{
+    const auto wl = workloads::make("GS", 0.25);
+    for (auto _ : state) {
+        workloads::ProfileOptions po;
+        benchmark::DoNotOptimize(
+            workloads::profileWorkload(*wl, po).perBit[8]);
+    }
+}
+BENCHMARK(BM_ProfileWorkload)->Unit(benchmark::kMillisecond);
+
+// --- DRAM -------------------------------------------------------------------
+
+static void
+BM_FrFcfsThroughput(benchmark::State &state)
+{
+    const bool random_rows = state.range(0);
+    XorShiftRng rng(17);
+    for (auto _ : state) {
+        MemoryController mc(16, DramTiming::hynixGddr5());
+        std::vector<DramCompletion> done;
+        unsigned issued = 0, completed = 0;
+        Cycle now = 0;
+        while (completed < 512) {
+            while (issued < 512 && mc.canAccept()) {
+                DramRequest r;
+                r.coord.bank = rng.below(16);
+                r.coord.row =
+                    random_rows ? static_cast<unsigned>(rng.below(4096))
+                                : issued / 64;
+                r.tag = issued++;
+                mc.enqueue(r, now);
+            }
+            mc.tick(++now, done);
+            completed += static_cast<unsigned>(done.size());
+            done.clear();
+        }
+        benchmark::DoNotOptimize(now);
+    }
+    state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_FrFcfsThroughput)
+    ->Arg(0)  // streaming rows (row hits)
+    ->Arg(1); // random rows (activation bound)
+
+// --- Full simulator -----------------------------------------------------------
+
+static void
+BM_SimulatorEndToEnd(benchmark::State &state)
+{
+    const SimConfig cfg = SimConfig::paperBaseline();
+    const auto mapper = mapping::makeScheme(Scheme::PAE, cfg.layout, 1);
+    const auto wl = workloads::make("GS", 0.25);
+    for (auto _ : state) {
+        GpuSystem sim(cfg, *mapper);
+        const RunResult r = sim.run(*wl);
+        benchmark::DoNotOptimize(r.cycles);
+        state.counters["cycles/s"] = benchmark::Counter(
+            static_cast<double>(r.cycles),
+            benchmark::Counter::kIsIterationInvariantRate);
+    }
+}
+BENCHMARK(BM_SimulatorEndToEnd)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

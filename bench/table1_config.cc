@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Table I — simulated GPU architecture. Prints the configuration the
+ * simulator actually instantiates, for comparison against the paper.
+ */
+
+#include "bench_util.hh"
+#include "dram/dram_timing.hh"
+
+using namespace valley;
+
+namespace {
+
+void
+printConfig(const SimConfig &cfg)
+{
+    TextTable t;
+    t.setHeader({"parameter", "value"});
+    t.addRow({"configuration", cfg.name});
+    t.addRow({"SMs", std::to_string(cfg.numSms)});
+    t.addRow({"SM clock", TextTable::num(cfg.smClockGhz, 2) + " GHz"});
+    t.addRow({"max threads/SM", std::to_string(cfg.maxThreadsPerSm)});
+    t.addRow({"max warps/SM (32 thr)",
+              std::to_string(cfg.maxWarpsPerSm)});
+    t.addRow({"warp schedulers/SM",
+              std::to_string(cfg.schedulersPerSm) + " (GTO)"});
+    t.addRow({"L1D / SM",
+              std::to_string(cfg.l1.sizeBytes / 1024) + " KB, " +
+                  std::to_string(cfg.l1.ways) + "-way, " +
+                  std::to_string(cfg.l1.numSets()) + " sets, " +
+                  std::to_string(cfg.l1.lineBytes) + " B lines, " +
+                  std::to_string(cfg.l1.mshrEntries) + " MSHRs"});
+    t.addRow({"LLC", std::to_string(cfg.llcSlices * cfg.llcSlice.sizeBytes /
+                                    1024) +
+                         " KB total (" + std::to_string(cfg.llcSlices) +
+                         " slices, " + std::to_string(cfg.llcSlice.ways) +
+                         "-way, " +
+                         std::to_string(cfg.llcSlice.numSets()) +
+                         " sets)"});
+    t.addRow({"NoC", std::to_string(cfg.numSms) + "x" +
+                         std::to_string(cfg.llcSlices) + " crossbar, " +
+                         std::to_string(cfg.nocChannelBytes) +
+                         " B channels, 700 MHz"});
+    const double noc_bw = cfg.nocChannelBytes * 0.7 * cfg.llcSlices;
+    t.addRow({"NoC bandwidth", TextTable::num(noc_bw, 1) + " GB/s"});
+    t.addRow({"DRAM", cfg.layout.describe()});
+    t.addRow({"channels",
+              std::to_string(cfg.layout.numChannels())});
+    t.addRow({"banks/channel",
+              std::to_string(cfg.layout.numBanksPerChannel())});
+    t.addRow({"rows/bank", std::to_string(cfg.layout.numRows())});
+    t.addRow({"columns/row",
+              std::to_string(cfg.layout.numColumns())});
+    t.addRow({"timing (CL-tRCD-tRP)",
+              std::to_string(cfg.dram.tCL) + "-" +
+                  std::to_string(cfg.dram.tRCD) + "-" +
+                  std::to_string(cfg.dram.tRP) + " @ " +
+                  TextTable::num(cfg.dram.clockGhz, 3) + " GHz"});
+    const double dram_bw = 128.0 * cfg.dram.clockGhz /
+                           cfg.dram.tBurst *
+                           cfg.layout.numChannels();
+    t.addRow({"DRAM bandwidth", TextTable::num(dram_bw, 1) + " GB/s"});
+    t.addRow({"MC scheduling", "FR-FCFS, open page"});
+    t.addRow({"MC queue depth", std::to_string(cfg.mcQueueDepth)});
+    std::printf("%s\n", t.toString().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader("Table I", "simulated GPU architecture");
+    printConfig(SimConfig::paperBaseline());
+    std::printf("Paper: 12 SMs @1.4 GHz, 1536 threads/SM, GTO; 16 KB "
+                "L1 (4-way, 32 sets);\n512 KB LLC (8 slices, 8-way, 64 "
+                "sets); 12x8 crossbar @700 MHz, 179.3 GB/s;\nHynix "
+                "GDDR5 @924 MHz, 4 MCs x 16 banks, 12-12-12, FR-FCFS, "
+                "118.3 GB/s.\n\n");
+    printConfig(SimConfig::stacked3d());
+    std::printf("Paper (3D): 4 stacks x 16 vaults x 16 banks, 64 "
+                "TSVs/vault,\n1.25 Gb/s signaling, 640 GB/s.\n");
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The paper's Fig. 2 walk-through: a column-major thread block whose
+ * memory requests all land on DRAM channel 0 under the baseline map,
+ * state-of-the-art permutation-based mapping (PM) failing to fix it,
+ * and a Broad BIM restoring perfect channel balance.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bim/bim_builder.hh"
+#include "common/rng.hh"
+#include "mapping/address_mapper.hh"
+
+using namespace valley;
+
+namespace {
+
+void
+showDistribution(const char *label, const AddressMapper &mapper,
+                 const std::vector<Addr> &requests)
+{
+    unsigned per_channel[4] = {0, 0, 0, 0};
+    for (Addr a : requests)
+        per_channel[mapper.coordOf(a).channel]++;
+    std::printf("%-28s channels [", label);
+    for (unsigned c = 0; c < 4; ++c)
+        std::printf(" %2u", per_channel[c]);
+    std::printf(" ]\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    const AddressLayout layout = AddressLayout::hynixGddr5();
+    std::printf("Fig. 2 demo — %s\n\n", layout.describe().c_str());
+
+    // A column-major TB (Fig. 2's TB-CM0): thread i accesses element
+    // [i][0] of a row-major matrix with a 2 KB pitch, i.e. a column
+    // walk with the row-pitch stride. The addresses differ only in
+    // bits 11+ (bank/row bits); channel bits 8-9 are constant zero.
+    std::vector<Addr> requests;
+    for (unsigned i = 0; i < 8; ++i)
+        requests.push_back(Addr{i} * 2048);
+
+    std::printf("TB-CM requests (column-major thread block):\n");
+    for (Addr a : requests)
+        std::printf("  0x%08llx\n",
+                    static_cast<unsigned long long>(a));
+    std::printf("\n");
+
+    const auto base = mapping::makeScheme(Scheme::BASE, layout);
+    showDistribution("BASE (Hynix map):", *base, requests);
+
+    // State-of-the-art PM: XORs channel/bank bits with the lowest
+    // row bits — too narrow a range for this access pattern.
+    const auto pm = mapping::makeScheme(Scheme::PM, layout);
+    showDistribution("PM (narrow XOR):", *pm, requests);
+
+    // A Broad-strategy BIM gathers entropy from the whole page
+    // address; the invertibility check guarantees one-to-one mapping.
+    const auto pae = mapping::makeScheme(Scheme::PAE, layout, 1);
+    showDistribution("PAE (Broad BIM):", *pae, requests);
+
+    const auto fae = mapping::makeScheme(Scheme::FAE, layout, 1);
+    showDistribution("FAE (Broad BIM, full addr):", *fae, requests);
+
+    std::printf(
+        "\nThe Broad BIM rows for the channel bits tap wide input "
+        "ranges:\n  ch bit 8 row taps: 0x%08llx\n  ch bit 9 row "
+        "taps: 0x%08llx\nHardware: %u 2-input XOR gates, tree depth "
+        "%u (single cycle).\n",
+        static_cast<unsigned long long>(pae->matrix().row(8)),
+        static_cast<unsigned long long>(pae->matrix().row(9)),
+        pae->matrix().xorGateCount(), pae->matrix().xorTreeDepth());
+
+    // Bijectivity: the invertibility criterion at work.
+    const auto inv = pae->matrix().inverse();
+    XorShiftRng rng(5);
+    bool ok = true;
+    for (int i = 0; i < 100000; ++i) {
+        const Addr a = rng.next() & ((Addr{1} << 30) - 1);
+        ok &= inv->apply(pae->map(a)) == a;
+    }
+    std::printf("one-to-one check over 100k random addresses: %s\n",
+                ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,151 @@
+#include "bim/bim_builder.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "common/bitops.hh"
+
+namespace valley {
+namespace bim {
+
+BitMatrix
+permutation(unsigned n, const std::vector<unsigned> &source_of_output)
+{
+    if (source_of_output.size() != n)
+        throw std::invalid_argument("permutation: wrong source count");
+    std::vector<bool> used(n, false);
+    BitMatrix m(n);
+    for (unsigned out = 0; out < n; ++out) {
+        const unsigned src = source_of_output[out];
+        if (src >= n || used[src])
+            throw std::invalid_argument("permutation: not a permutation");
+        used[src] = true;
+        m.set(out, src, true);
+    }
+    return m;
+}
+
+BitMatrix
+remap(unsigned n, const std::vector<unsigned> &target_positions,
+      const std::vector<unsigned> &source_bits)
+{
+    if (target_positions.size() != source_bits.size())
+        throw std::invalid_argument("remap: size mismatch");
+
+    std::vector<unsigned> source_of_output(n);
+    for (unsigned i = 0; i < n; ++i)
+        source_of_output[i] = i;
+
+    // Route the chosen sources to the target positions.
+    std::vector<bool> output_filled(n, false);
+    std::vector<bool> input_used(n, false);
+    for (std::size_t i = 0; i < target_positions.size(); ++i) {
+        const unsigned out = target_positions[i];
+        const unsigned src = source_bits[i];
+        if (out >= n || src >= n)
+            throw std::invalid_argument("remap: bit out of range");
+        if (output_filled[out] || input_used[src])
+            throw std::invalid_argument("remap: duplicate bit");
+        source_of_output[out] = src;
+        output_filled[out] = true;
+        input_used[src] = true;
+    }
+
+    // Fill the vacated output positions with the displaced inputs, both
+    // taken in ascending order. Positions whose identity source is
+    // still free keep it.
+    std::vector<unsigned> free_outputs;
+    std::vector<unsigned> free_inputs;
+    for (unsigned i = 0; i < n; ++i) {
+        if (!output_filled[i] && input_used[i])
+            free_outputs.push_back(i);
+        if (!input_used[i] && output_filled[i])
+            free_inputs.push_back(i);
+    }
+    assert(free_outputs.size() == free_inputs.size());
+    for (std::size_t i = 0; i < free_outputs.size(); ++i)
+        source_of_output[free_outputs[i]] = free_inputs[i];
+
+    return permutation(n, source_of_output);
+}
+
+BitMatrix
+permutationBased(unsigned n, const std::vector<unsigned> &targets,
+                 const std::vector<unsigned> &donors)
+{
+    if (targets.size() != donors.size())
+        throw std::invalid_argument("permutationBased: size mismatch");
+    BitMatrix m = BitMatrix::identity(n);
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+        const unsigned t = targets[i];
+        const unsigned d = donors[i];
+        if (t >= n || d >= n)
+            throw std::invalid_argument("permutationBased: out of range");
+        if (std::find(targets.begin(), targets.end(), d) != targets.end())
+            throw std::invalid_argument(
+                "permutationBased: donor overlaps target");
+        m.set(t, d, true);
+    }
+    assert(m.invertible());
+    return m;
+}
+
+BitMatrix
+fromRowSpecs(unsigned n,
+             const std::vector<std::pair<unsigned, std::uint64_t>> &specs)
+{
+    BitMatrix m = BitMatrix::identity(n);
+    for (const auto &[row, mask] : specs) {
+        if (row >= n)
+            throw std::invalid_argument("fromRowSpecs: row out of range");
+        m.setRow(row, mask & bits::mask(n));
+    }
+    if (!m.invertible())
+        throw std::invalid_argument("fromRowSpecs: singular matrix");
+    return m;
+}
+
+BitMatrix
+randomBroad(unsigned n, const std::vector<unsigned> &targets,
+            std::uint64_t candidate_mask, XorShiftRng &rng,
+            unsigned min_taps)
+{
+    candidate_mask &= bits::mask(n);
+    for (unsigned t : targets) {
+        if (t >= n)
+            throw std::invalid_argument("randomBroad: target out of range");
+        if (!((candidate_mask >> t) & 1))
+            throw std::invalid_argument(
+                "randomBroad: targets must be candidates (else singular)");
+    }
+    const unsigned candidates =
+        static_cast<unsigned>(std::popcount(candidate_mask));
+    if (candidates < targets.size() || min_taps > candidates)
+        throw std::invalid_argument("randomBroad: too few candidates");
+
+    // Rejection-sample rows until the complete matrix (random target
+    // rows + identity elsewhere) is invertible. A uniformly random
+    // GF(2) k x k block is invertible with probability ~0.29, so a few
+    // dozen attempts always suffice in practice; the bound below only
+    // guards against caller errors.
+    constexpr unsigned max_attempts = 100000;
+    for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+        BitMatrix m = BitMatrix::identity(n);
+        for (unsigned t : targets) {
+            std::uint64_t row = 0;
+            unsigned taps = 0;
+            do {
+                row = rng.next() & candidate_mask;
+                taps = static_cast<unsigned>(std::popcount(row));
+            } while (taps < min_taps);
+            m.setRow(t, row);
+        }
+        if (m.invertible())
+            return m;
+    }
+    throw std::runtime_error("randomBroad: no invertible matrix found");
+}
+
+} // namespace bim
+} // namespace valley

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Constructors for the BIM families discussed in the paper
+ * (Section IV): Remap, Permutation-based (PM) and the Broad strategies
+ * (PAE / FAE / ALL) that gather entropy from wide input-bit ranges.
+ *
+ * All builders return full n x n invertible matrices; callers pick the
+ * output target bits (channel/bank positions) and the candidate input
+ * bit sets according to the DRAM address layout.
+ */
+
+#ifndef VALLEY_BIM_BIM_BUILDER_HH
+#define VALLEY_BIM_BIM_BUILDER_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "bim/bit_matrix.hh"
+#include "common/rng.hh"
+
+namespace valley {
+namespace bim {
+
+/**
+ * Pure bit-permutation matrix: output bit i takes input bit
+ * `source_of_output[i]`. `source_of_output` must be a permutation of
+ * 0..n-1; otherwise the matrix would not be invertible.
+ */
+BitMatrix permutation(unsigned n,
+                      const std::vector<unsigned> &source_of_output);
+
+/**
+ * Remap-strategy builder (Fig. 6b): route the chosen high-entropy
+ * input bits `source_bits[i]` to the channel/bank output positions
+ * `target_positions[i]`; displaced input bits fill the vacated output
+ * positions in ascending order; all other bits map straight through.
+ */
+BitMatrix remap(unsigned n, const std::vector<unsigned> &target_positions,
+                const std::vector<unsigned> &source_bits);
+
+/**
+ * Permutation-based mapping builder (Fig. 6c, [4,5]): output target
+ * bit `targets[i]` is the XOR of input bit `targets[i]` and donor
+ * input bit `donors[i]`. Donors must be distinct from all targets;
+ * such a matrix is always invertible (unit upper-triangular under a
+ * suitable ordering).
+ */
+BitMatrix permutationBased(unsigned n, const std::vector<unsigned> &targets,
+                           const std::vector<unsigned> &donors);
+
+/**
+ * Build a matrix from explicit (output bit, input tap mask) rows;
+ * unspecified rows are identity. Asserts the result is invertible.
+ */
+BitMatrix fromRowSpecs(
+    unsigned n,
+    const std::vector<std::pair<unsigned, std::uint64_t>> &specs);
+
+/**
+ * Broad-strategy builder (Fig. 6d): every output bit in `targets` gets
+ * a random tap subset of `candidate_mask` (each candidate with
+ * probability 1/2, at least `min_taps` taps); remaining rows are
+ * identity. Rejection-samples until the full matrix is invertible,
+ * which guarantees a one-to-one address mapping.
+ *
+ * The target bits must all be contained in `candidate_mask`; otherwise
+ * no invertible matrix with identity non-target rows exists.
+ */
+BitMatrix randomBroad(unsigned n, const std::vector<unsigned> &targets,
+                      std::uint64_t candidate_mask, XorShiftRng &rng,
+                      unsigned min_taps = 2);
+
+} // namespace bim
+} // namespace valley
+
+#endif // VALLEY_BIM_BIM_BUILDER_HH

@@ -1,0 +1,196 @@
+#include "bim/bit_matrix.hh"
+
+#include <cassert>
+
+#include "common/bitops.hh"
+
+namespace valley {
+
+BitMatrix::BitMatrix(unsigned n_) : n(n_), rowMask(n_, 0)
+{
+    assert(n_ >= 1 && n_ <= 64);
+}
+
+BitMatrix
+BitMatrix::identity(unsigned n)
+{
+    BitMatrix m(n);
+    for (unsigned i = 0; i < n; ++i)
+        m.rowMask[i] = std::uint64_t{1} << i;
+    return m;
+}
+
+bool
+BitMatrix::get(unsigned row, unsigned col) const
+{
+    assert(row < n && col < n);
+    return (rowMask[row] >> col) & 1;
+}
+
+void
+BitMatrix::set(unsigned row, unsigned col, bool v)
+{
+    assert(row < n && col < n);
+    rowMask[row] = bits::setBit(rowMask[row], col, v ? 1 : 0);
+}
+
+std::uint64_t
+BitMatrix::row(unsigned r) const
+{
+    assert(r < n);
+    return rowMask[r];
+}
+
+void
+BitMatrix::setRow(unsigned r, std::uint64_t mask)
+{
+    assert(r < n);
+    assert((mask & ~bits::mask(n)) == 0);
+    rowMask[r] = mask;
+}
+
+Addr
+BitMatrix::apply(Addr in) const
+{
+    Addr out = in & ~bits::mask(n);
+    const std::uint64_t low = in & bits::mask(n);
+    for (unsigned r = 0; r < n; ++r)
+        out |= static_cast<Addr>(bits::parity(rowMask[r] & low)) << r;
+    return out;
+}
+
+BitMatrix
+BitMatrix::multiply(const BitMatrix &rhs) const
+{
+    assert(n == rhs.n);
+    // (this * rhs) row r = XOR of rhs rows selected by this row's taps.
+    BitMatrix out(n);
+    for (unsigned r = 0; r < n; ++r) {
+        std::uint64_t acc = 0;
+        std::uint64_t taps = rowMask[r];
+        while (taps) {
+            const unsigned c = bits::log2Exact(taps & (~taps + 1));
+            acc ^= rhs.rowMask[c];
+            taps &= taps - 1;
+        }
+        out.rowMask[r] = acc;
+    }
+    return out;
+}
+
+unsigned
+BitMatrix::rank() const
+{
+    std::vector<std::uint64_t> rows = rowMask;
+    unsigned rank = 0;
+    for (unsigned col = 0; col < n && rank < n; ++col) {
+        const std::uint64_t bit = std::uint64_t{1} << col;
+        unsigned pivot = rank;
+        while (pivot < n && !(rows[pivot] & bit))
+            ++pivot;
+        if (pivot == n)
+            continue;
+        std::swap(rows[rank], rows[pivot]);
+        for (unsigned r = 0; r < n; ++r)
+            if (r != rank && (rows[r] & bit))
+                rows[r] ^= rows[rank];
+        ++rank;
+    }
+    return rank;
+}
+
+std::optional<BitMatrix>
+BitMatrix::inverse() const
+{
+    // Gauss-Jordan over the augmented system [M | I].
+    std::vector<std::uint64_t> m = rowMask;
+    std::vector<std::uint64_t> inv(n);
+    for (unsigned i = 0; i < n; ++i)
+        inv[i] = std::uint64_t{1} << i;
+
+    unsigned row = 0;
+    for (unsigned col = 0; col < n; ++col) {
+        const std::uint64_t bit = std::uint64_t{1} << col;
+        unsigned pivot = row;
+        while (pivot < n && !(m[pivot] & bit))
+            ++pivot;
+        if (pivot == n)
+            return std::nullopt;
+        std::swap(m[row], m[pivot]);
+        std::swap(inv[row], inv[pivot]);
+        for (unsigned r = 0; r < n; ++r) {
+            if (r != row && (m[r] & bit)) {
+                m[r] ^= m[row];
+                inv[r] ^= inv[row];
+            }
+        }
+        ++row;
+    }
+
+    // m is now a permutation of identity rows; undo the row ordering so
+    // inv rows line up with output bit indices.
+    BitMatrix out(n);
+    for (unsigned r = 0; r < n; ++r) {
+        const unsigned out_bit = bits::log2Exact(m[r]);
+        out.rowMask[out_bit] = inv[r];
+    }
+    return out;
+}
+
+bool
+BitMatrix::operator==(const BitMatrix &rhs) const
+{
+    return n == rhs.n && rowMask == rhs.rowMask;
+}
+
+unsigned
+BitMatrix::xorGateCount() const
+{
+    unsigned gates = 0;
+    for (unsigned r = 0; r < n; ++r) {
+        const unsigned taps =
+            static_cast<unsigned>(std::popcount(rowMask[r]));
+        if (taps > 1)
+            gates += taps - 1;
+    }
+    return gates;
+}
+
+unsigned
+BitMatrix::maxRowTaps() const
+{
+    unsigned taps = 0;
+    for (unsigned r = 0; r < n; ++r)
+        taps = std::max(
+            taps, static_cast<unsigned>(std::popcount(rowMask[r])));
+    return taps;
+}
+
+unsigned
+BitMatrix::xorTreeDepth() const
+{
+    const unsigned taps = maxRowTaps();
+    return taps <= 1 ? 0 : bits::log2Ceil(taps);
+}
+
+bool
+BitMatrix::rowIsIdentity(unsigned r) const
+{
+    assert(r < n);
+    return rowMask[r] == (std::uint64_t{1} << r);
+}
+
+std::string
+BitMatrix::toString() const
+{
+    std::string out;
+    out.reserve(static_cast<std::size_t>(n) * (n + 1));
+    for (unsigned r = 0; r < n; ++r) {
+        for (unsigned c = 0; c < n; ++c)
+            out.push_back(get(r, c) ? '1' : '0');
+        out.push_back('\n');
+    }
+    return out;
+}
+
+} // namespace valley

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * GF(2) bit-matrix algebra underlying the Binary Invertible Matrix
+ * (BIM) address mapping abstraction (paper Section IV-A).
+ *
+ * An address transform is the matrix-vector product
+ * `a_out = M x a_in` where multiplication is AND and addition is XOR.
+ * Requiring M to be invertible over GF(2) guarantees the mapping is
+ * one-to-one, i.e. no two physical addresses collide after remapping.
+ */
+
+#ifndef VALLEY_BIM_BIT_MATRIX_HH
+#define VALLEY_BIM_BIT_MATRIX_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace valley {
+
+/**
+ * Square bit matrix over GF(2) with up to 64 columns.
+ *
+ * Rows are stored as 64-bit masks: bit `c` of `rowMask[r]` is the
+ * matrix entry M[r][c]. Row `r` generates output address bit `r`;
+ * column `c` consumes input address bit `c`. Applying the matrix to an
+ * address is one AND plus a parity per output bit, which corresponds
+ * directly to the tree-of-XOR-gates hardware realization (Fig. 7).
+ */
+class BitMatrix
+{
+  public:
+    /** Construct an n x n zero matrix (1 <= n <= 64). */
+    explicit BitMatrix(unsigned n);
+
+    /** The n x n identity (the BASE "no remapping" transform). */
+    static BitMatrix identity(unsigned n);
+
+    /** Matrix dimension. */
+    unsigned size() const { return n; }
+
+    /** Entry accessor. */
+    bool get(unsigned row, unsigned col) const;
+
+    /** Entry mutator. */
+    void set(unsigned row, unsigned col, bool v);
+
+    /** Raw row mask (bit c = M[row][c]). */
+    std::uint64_t row(unsigned r) const;
+
+    /** Replace a full row by its mask. */
+    void setRow(unsigned r, std::uint64_t mask);
+
+    /**
+     * Apply the transform to an address: out bit r is the XOR of the
+     * input bits selected by row r. Bits at or above `size()` pass
+     * through unchanged so 30-bit maps can be applied to full Addr
+     * values.
+     */
+    Addr apply(Addr in) const;
+
+    /** Matrix product (this * rhs); both operands must share size. */
+    BitMatrix multiply(const BitMatrix &rhs) const;
+
+    /** Rank over GF(2) via Gaussian elimination. */
+    unsigned rank() const;
+
+    /** True iff the matrix is invertible over GF(2). */
+    bool invertible() const { return rank() == n; }
+
+    /** Inverse matrix, if it exists (Gauss-Jordan on [M|I]). */
+    std::optional<BitMatrix> inverse() const;
+
+    /** Structural equality. */
+    bool operator==(const BitMatrix &rhs) const;
+
+    /**
+     * Number of 2-input XOR gates needed by a direct tree
+     * implementation: sum over rows of max(popcount - 1, 0).
+     */
+    unsigned xorGateCount() const;
+
+    /** Maximum number of taps on any row (fan-in of widest XOR tree). */
+    unsigned maxRowTaps() const;
+
+    /**
+     * Depth in 2-input XOR gate levels of the widest row tree; this is
+     * the quantity that must fit in the single remap cycle the paper
+     * budgets (Section V).
+     */
+    unsigned xorTreeDepth() const;
+
+    /** True iff row r is the identity row (single tap on column r). */
+    bool rowIsIdentity(unsigned r) const;
+
+    /** Printable 0/1 grid, one row per line, row 0 first. */
+    std::string toString() const;
+
+  private:
+    unsigned n;
+    std::vector<std::uint64_t> rowMask;
+};
+
+} // namespace valley
+
+#endif // VALLEY_BIM_BIT_MATRIX_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the BIM algebra, the address
+ * layouts and the entropy analysis.
+ */
+
+#ifndef VALLEY_COMMON_BITOPS_HH
+#define VALLEY_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace valley {
+namespace bits {
+
+/** Return a mask with the `n` least significant bits set. */
+constexpr std::uint64_t
+mask(unsigned n)
+{
+    return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/** Extract bits [hi:lo] (inclusive) of `v`, right-aligned. */
+constexpr std::uint64_t
+extract(std::uint64_t v, unsigned hi, unsigned lo)
+{
+    return (v >> lo) & mask(hi - lo + 1);
+}
+
+/** Extract single bit `pos` of `v`. */
+constexpr unsigned
+bit(std::uint64_t v, unsigned pos)
+{
+    return static_cast<unsigned>((v >> pos) & 1);
+}
+
+/** Return `v` with bits [hi:lo] replaced by the low bits of `field`. */
+constexpr std::uint64_t
+insert(std::uint64_t v, unsigned hi, unsigned lo, std::uint64_t field)
+{
+    const std::uint64_t m = mask(hi - lo + 1);
+    return (v & ~(m << lo)) | ((field & m) << lo);
+}
+
+/** Return `v` with bit `pos` set to `b` (0/1). */
+constexpr std::uint64_t
+setBit(std::uint64_t v, unsigned pos, unsigned b)
+{
+    return (v & ~(std::uint64_t{1} << pos)) |
+           (std::uint64_t{b & 1} << pos);
+}
+
+/** Parity (XOR-reduction) of all bits of `v`. */
+constexpr unsigned
+parity(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::popcount(v) & 1);
+}
+
+/** True iff `v` is a power of two (and nonzero). */
+constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+constexpr unsigned
+log2Exact(std::uint64_t v)
+{
+    assert(isPow2(v));
+    return static_cast<unsigned>(std::countr_zero(v));
+}
+
+/** Ceil of log2 (log2Ceil(1) == 0). */
+constexpr unsigned
+log2Ceil(std::uint64_t v)
+{
+    unsigned r = 0;
+    std::uint64_t p = 1;
+    while (p < v) { p <<= 1; ++r; }
+    return r;
+}
+
+} // namespace bits
+} // namespace valley
+
+#endif // VALLEY_COMMON_BITOPS_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic choice in the project (BIM row sampling, workload
+ * address jitter, tie-breaking) goes through XorShiftRng seeded from an
+ * explicit value, so experiment runs are bit-reproducible.
+ */
+
+#ifndef VALLEY_COMMON_RNG_HH
+#define VALLEY_COMMON_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace valley {
+
+/**
+ * xorshift64* generator. Small, fast and adequate for simulation
+ * workload synthesis; not for cryptography.
+ */
+class XorShiftRng
+{
+  public:
+    /** Seed 0 is remapped to a fixed odd constant (state must be != 0). */
+    explicit XorShiftRng(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+        : state(seed ? seed : 0x9E3779B97F4A7C15ull)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545F4914F6CDD1Dull;
+    }
+
+    /** Uniform value in [0, bound) for bound >= 1. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return bound <= 1 ? 0 : next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli draw with probability num/den. */
+    bool
+    chance(std::uint64_t num, std::uint64_t den)
+    {
+        return below(den) < num;
+    }
+
+    /** Fair coin. */
+    bool coin() { return next() & 1; }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = static_cast<std::size_t>(below(i));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace valley
+
+#endif // VALLEY_COMMON_RNG_HH

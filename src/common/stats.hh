@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used across the simulator.
+ */
+
+#ifndef VALLEY_COMMON_STATS_HH
+#define VALLEY_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace valley {
+
+/**
+ * Incremental mean/min/max accumulator over double samples.
+ */
+class RunningStat
+{
+  public:
+    void
+    add(double x)
+    {
+        ++n;
+        total += x;
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+
+    /** Add `count` identical samples (used by per-cycle sampling). */
+    void
+    addWeighted(double x, std::uint64_t count)
+    {
+        n += count;
+        total += x * static_cast<double>(count);
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+
+    std::uint64_t count() const { return n; }
+    double sum() const { return total; }
+    double mean() const { return n ? total / static_cast<double>(n) : 0.0; }
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+
+    void
+    reset()
+    {
+        n = 0;
+        total = 0.0;
+        lo = std::numeric_limits<double>::infinity();
+        hi = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    std::uint64_t n = 0;
+    double total = 0.0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+};
+
+/** Ratio of two event counters; safe on zero denominators. */
+struct RatioStat
+{
+    std::uint64_t num = 0;
+    std::uint64_t den = 0;
+
+    double
+    value() const
+    {
+        return den ? static_cast<double>(num) / static_cast<double>(den)
+                   : 0.0;
+    }
+};
+
+/** Arithmetic mean of a vector (0 on empty input). */
+inline double
+arithmeticMean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+/** Harmonic mean of a vector of positive values (0 on empty input). */
+inline double
+harmonicMean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v) {
+        if (x <= 0.0)
+            return 0.0;
+        s += 1.0 / x;
+    }
+    return static_cast<double>(v.size()) / s;
+}
+
+/** Geometric mean of a vector of positive values (0 on empty input). */
+inline double
+geometricMean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v) {
+        if (x <= 0.0)
+            return 0.0;
+        s += std::log(x);
+    }
+    return std::exp(s / static_cast<double>(v.size()));
+}
+
+} // namespace valley
+
+#endif // VALLEY_COMMON_STATS_HH

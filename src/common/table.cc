@@ -1,0 +1,111 @@
+#include "table.hh"
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace valley {
+
+void
+TextTable::setHeader(std::vector<std::string> cells)
+{
+    header = std::move(cells);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows.push_back(Row{std::move(cells), false});
+}
+
+void
+TextTable::addRule()
+{
+    rows.push_back(Row{{}, true});
+}
+
+std::string
+TextTable::toString() const
+{
+    // Compute per-column widths over header and all rows.
+    std::vector<std::size_t> width;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > width.size())
+            width.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    grow(header);
+    for (const Row &r : rows)
+        grow(r.cells);
+
+    std::size_t line_len = 0;
+    for (std::size_t w : width)
+        line_len += w + 2;
+
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            out << cells[i];
+            if (i + 1 < cells.size())
+                out << std::string(width[i] - cells[i].size() + 2, ' ');
+        }
+        out << '\n';
+    };
+    if (!header.empty()) {
+        emit(header);
+        out << std::string(line_len, '-') << '\n';
+    }
+    for (const Row &r : rows) {
+        if (r.rule)
+            out << std::string(line_len, '-') << '\n';
+        else
+            emit(r.cells);
+    }
+    return out.str();
+}
+
+std::string
+TextTable::toCsv() const
+{
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            out << cells[i];
+            if (i + 1 < cells.size())
+                out << ',';
+        }
+        out << '\n';
+    };
+    if (!header.empty())
+        emit(header);
+    for (const Row &r : rows)
+        if (!r.rule)
+            emit(r.cells);
+    return out.str();
+}
+
+std::string
+TextTable::num(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+TextTable::big(std::uint64_t v)
+{
+    std::string raw = std::to_string(v);
+    std::string out;
+    int count = 0;
+    for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    return {out.rbegin(), out.rend()};
+}
+
+} // namespace valley

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Plain-text table formatting for bench harness output.
+ *
+ * Every figure/table bench prints its rows through TextTable so the
+ * regenerated data lines up with the paper's presentation and can be
+ * diffed or piped into plotting scripts as CSV.
+ */
+
+#ifndef VALLEY_COMMON_TABLE_HH
+#define VALLEY_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace valley {
+
+/**
+ * A simple column-aligned text table with an optional CSV rendering.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append a data row; it may have fewer cells than the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator rule. */
+    void addRule();
+
+    /** Render with padded columns (two-space gutters). */
+    std::string toString() const;
+
+    /** Render as CSV (no separator rules). */
+    std::string toCsv() const;
+
+    /** Format a double with `prec` digits after the point. */
+    static std::string num(double v, int prec = 2);
+
+    /** Format an integer with thousands separators. */
+    static std::string big(std::uint64_t v);
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool rule = false;
+    };
+
+    std::vector<std::string> header;
+    std::vector<Row> rows;
+};
+
+} // namespace valley
+
+#endif // VALLEY_COMMON_TABLE_HH

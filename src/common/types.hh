@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Fundamental scalar types shared by all valley libraries.
+ */
+
+#ifndef VALLEY_COMMON_TYPES_HH
+#define VALLEY_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace valley {
+
+/** Physical memory address. The paper uses a 30-bit space (1 GB). */
+using Addr = std::uint64_t;
+
+/** Simulation time in SM core cycles (1.4 GHz domain). */
+using Cycle = std::uint64_t;
+
+/** Thread block identifier within a kernel (issue order). */
+using TbId = std::uint32_t;
+
+/** Number of address bits in the modeled physical address space. */
+constexpr unsigned kPhysAddrBits = 30;
+
+/** DRAM block (intra-page offset) bits; bits [5:0] of the address. */
+constexpr unsigned kBlockBits = 6;
+
+} // namespace valley
+
+#endif // VALLEY_COMMON_TYPES_HH

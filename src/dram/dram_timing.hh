@@ -1,0 +1,58 @@
+/**
+ * @file
+ * DRAM device timing parameters (Table I).
+ *
+ * All values are in DRAM command-clock cycles of the device's clock
+ * domain (924 MHz for the Hynix GDDR5 baseline). A 128 B memory
+ * transaction occupies the data bus for `tBurst` cycles; with the
+ * GDDR5 configuration this yields 128 B / (4 / 0.924 GHz) = 29.6 GB/s
+ * per channel, i.e. 118.3 GB/s over four channels as in the paper.
+ */
+
+#ifndef VALLEY_DRAM_DRAM_TIMING_HH
+#define VALLEY_DRAM_DRAM_TIMING_HH
+
+namespace valley {
+
+/** Device timing and clocking for one DRAM channel. */
+struct DramTiming
+{
+    unsigned tCL = 12;   ///< column access (CAS) latency
+    unsigned tRCD = 12;  ///< row-to-column (activate) delay
+    unsigned tRP = 12;   ///< row precharge latency
+    unsigned tRAS = 28;  ///< minimum row-open time
+    unsigned tBurst = 4; ///< data bus occupancy per 128 B transaction
+    unsigned tWR = 12;   ///< write recovery before precharge
+    unsigned tRRD = 6;   ///< activate-to-activate (different banks)
+    double clockGhz = 0.924; ///< command clock frequency
+
+    /** Hynix GDDR5, 12-12-12 (CL-tRCD-tRP), 924 MHz (Table I). */
+    static DramTiming
+    hynixGddr5()
+    {
+        return DramTiming{};
+    }
+
+    /**
+     * 3D-stacked vault timing (Table I bottom). Per-vault TSV signaling
+     * delivers 10 GB/s (64 TSVs at 1.25 Gb/s); 64 vaults give 640 GB/s.
+     * Bank core timings stay DRAM-like.
+     */
+    static DramTiming
+    stacked3d()
+    {
+        DramTiming t;
+        t.tCL = 11;
+        t.tRCD = 11;
+        t.tRP = 11;
+        t.tRAS = 26;
+        // 128 B / 10 GB/s = 12.8 ns = ~16 cycles at 1.25 GHz.
+        t.tBurst = 16;
+        t.clockGhz = 1.25;
+        return t;
+    }
+};
+
+} // namespace valley
+
+#endif // VALLEY_DRAM_DRAM_TIMING_HH

@@ -1,0 +1,152 @@
+#include "dram/memory_controller.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace valley {
+
+MemoryController::MemoryController(unsigned num_banks,
+                                   const DramTiming &timing_,
+                                   unsigned queue_capacity)
+    : timing(timing_), queueCapacity(queue_capacity), banks(num_banks)
+{
+    assert(num_banks >= 1);
+}
+
+bool
+MemoryController::enqueue(const DramRequest &req, Cycle now)
+{
+    if (!canAccept())
+        return false;
+    assert(req.coord.bank < banks.size());
+    DramRequest r = req;
+    r.enqueued = now;
+    banks[r.coord.bank].queued++;
+    queue.push_back(r);
+    return true;
+}
+
+bool
+MemoryController::tryIssueColumn(Cycle now)
+{
+    if (busFreeAt > now)
+        return false;
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+        Bank &bank = banks[it->coord.bank];
+        if (bank.open && bank.openRow == it->coord.row &&
+            bank.readyAt <= now) {
+            // Column access: reserve the bus, schedule completion.
+            busFreeAt = now + timing.tBurst;
+            stats_.busBusyCycles += timing.tBurst;
+            const Cycle done = now + timing.tCL + timing.tBurst;
+            // Write recovery keeps the bank busy slightly longer.
+            bank.readyAt =
+                it->write ? now + timing.tBurst + timing.tWR
+                          : now + timing.tBurst;
+            if (it->write)
+                stats_.writes++;
+            else
+                stats_.reads++;
+            inflight.push_back(
+                Inflight{it->tag, done, it->write, it->enqueued});
+            bank.queued--;
+            queue.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+MemoryController::tryBankCommand(Cycle now)
+{
+    // FCFS over requests whose bank can make progress. A request
+    // counts as a row miss once, when its row conflict is first
+    // resolved (precharge or activate of its row).
+    for (auto &req : queue) {
+        Bank &bank = banks[req.coord.bank];
+        if (bank.readyAt > now)
+            continue;
+        if (bank.open && bank.openRow == req.coord.row)
+            continue; // a column access will pick this up when ready
+        if (bank.open) {
+            // FR-FCFS: keep the row open while younger row hits are
+            // still queued for it, but cap the wait so conflicting
+            // requests cannot starve.
+            constexpr Cycle starvation_limit = 2000;
+            if (now - req.enqueued < starvation_limit) {
+                bool has_hits = false;
+                for (const auto &other : queue) {
+                    if (other.coord.bank == req.coord.bank &&
+                        other.coord.row == bank.openRow) {
+                        has_hits = true;
+                        break;
+                    }
+                }
+                if (has_hits)
+                    continue;
+            }
+            // Conflict: close the current row (respect tRAS).
+            const Cycle earliest = bank.activatedAt + timing.tRAS;
+            if (earliest > now)
+                continue;
+            bank.open = false;
+            bank.readyAt = now + timing.tRP;
+            stats_.precharges++;
+            return true;
+        }
+        // Closed bank: activate the request's row (respect tRRD).
+        if (nextActivateAt > now)
+            continue;
+        bank.open = true;
+        bank.openRow = req.coord.row;
+        bank.readyAt = now + timing.tRCD;
+        bank.activatedAt = now;
+        nextActivateAt = now + timing.tRRD;
+        stats_.activations++;
+        stats_.rowMisses++;
+        return true;
+    }
+    return false;
+}
+
+void
+MemoryController::tick(Cycle now, std::vector<DramCompletion> &done)
+{
+    // Retire finished bursts.
+    for (std::size_t i = 0; i < inflight.size();) {
+        if (inflight[i].doneAt <= now) {
+            if (!inflight[i].write) {
+                stats_.latencySum += now - inflight[i].enqueued;
+                done.push_back(DramCompletion{inflight[i].tag, now,
+                                              false});
+            }
+            inflight[i] = inflight.back();
+            inflight.pop_back();
+        } else {
+            ++i;
+        }
+    }
+
+    // One command per cycle: column accesses take priority (FR), then
+    // bank management for the oldest blocked request (FCFS).
+    if (!tryIssueColumn(now))
+        tryBankCommand(now);
+}
+
+unsigned
+MemoryController::pending() const
+{
+    return static_cast<unsigned>(queue.size() + inflight.size());
+}
+
+unsigned
+MemoryController::banksWithPending() const
+{
+    unsigned n = 0;
+    for (const Bank &b : banks)
+        n += b.queued > 0;
+    return n;
+}
+
+} // namespace valley

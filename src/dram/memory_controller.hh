@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Per-channel FR-FCFS memory controller with open-page row-buffer
+ * policy (Rixner et al. [17]; Table I).
+ *
+ * The controller owns the bank state machines of one channel. Every
+ * DRAM command cycle it issues at most one command:
+ *
+ *  1. *First-ready*: the oldest queued request whose bank has the
+ *     right row open and is ready issues a column access.
+ *  2. Otherwise *FCFS*: the oldest request whose bank can accept a
+ *     command makes progress — precharge if a different row is open,
+ *     activate if the bank is closed.
+ *
+ * Column accesses reserve the shared data bus for tBurst cycles;
+ * request data is ready tCL + tBurst cycles after the column command.
+ * Event counts (activations, reads, writes, row hits/misses) feed the
+ * Micron power model and the Fig. 15/16 benches.
+ */
+
+#ifndef VALLEY_DRAM_MEMORY_CONTROLLER_HH
+#define VALLEY_DRAM_MEMORY_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/dram_timing.hh"
+#include "mapping/address_layout.hh"
+
+namespace valley {
+
+/** A DRAM transaction (one 128 B line fill or writeback). */
+struct DramRequest
+{
+    DramCoord coord;       ///< mapped channel/bank/row/column
+    bool write = false;    ///< writeback (no completion callback)
+    std::uint64_t tag = 0; ///< caller cookie returned on completion
+    Cycle enqueued = 0;    ///< DRAM cycle of arrival (for latency)
+};
+
+/** A finished read transaction. */
+struct DramCompletion
+{
+    std::uint64_t tag = 0;
+    Cycle finished = 0; ///< DRAM cycle the data burst completed
+    bool write = false;
+};
+
+/** Event counters for one channel. */
+struct DramChannelStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t rowMisses = 0;   ///< accesses that required an activation
+    std::uint64_t activations = 0;
+    std::uint64_t precharges = 0;
+    std::uint64_t busBusyCycles = 0;
+    std::uint64_t latencySum = 0;  ///< enqueue-to-data DRAM cycles (reads)
+
+    /** Column accesses served from an already-open row (Fig. 15). */
+    double
+    rowHitRate() const
+    {
+        const std::uint64_t total = reads + writes;
+        if (total == 0)
+            return 0.0;
+        const std::uint64_t misses = std::min(rowMisses, total);
+        return static_cast<double>(total - misses) /
+               static_cast<double>(total);
+    }
+};
+
+/**
+ * One channel's controller: request queue + bank state + data bus.
+ */
+class MemoryController
+{
+  public:
+    MemoryController(unsigned num_banks, const DramTiming &timing,
+                     unsigned queue_capacity = 64);
+
+    /** True iff the request queue has room. */
+    bool canAccept() const { return queue.size() < queueCapacity; }
+
+    /**
+     * Enqueue a transaction; returns false (and drops it) when full —
+     * callers must retry, providing backpressure into the LLC.
+     */
+    bool enqueue(const DramRequest &req, Cycle now);
+
+    /**
+     * Advance one DRAM command cycle; completed reads are appended to
+     * `done`.
+     */
+    void tick(Cycle now, std::vector<DramCompletion> &done);
+
+    /** Outstanding requests (queued + in flight). */
+    unsigned pending() const;
+
+    /** Number of banks with at least one queued request. */
+    unsigned banksWithPending() const;
+
+    const DramChannelStats &stats() const { return stats_; }
+
+    unsigned numBanks() const
+    {
+        return static_cast<unsigned>(banks.size());
+    }
+
+  private:
+    struct Bank
+    {
+        bool open = false;
+        unsigned openRow = 0;
+        Cycle readyAt = 0;      ///< earliest next command
+        Cycle activatedAt = 0;  ///< for the tRAS constraint
+        unsigned queued = 0;    ///< requests in queue targeting this bank
+    };
+
+    /** In-flight column access waiting for its data burst. */
+    struct Inflight
+    {
+        std::uint64_t tag;
+        Cycle doneAt;
+        bool write;
+        Cycle enqueued;
+    };
+
+    bool tryIssueColumn(Cycle now);
+    bool tryBankCommand(Cycle now);
+
+    DramTiming timing;
+    unsigned queueCapacity;
+    std::vector<Bank> banks;
+    std::deque<DramRequest> queue;
+    std::vector<Inflight> inflight;
+    Cycle busFreeAt = 0;
+    Cycle nextActivateAt = 0; ///< tRRD window across banks
+    DramChannelStats stats_;
+};
+
+} // namespace valley
+
+#endif // VALLEY_DRAM_MEMORY_CONTROLLER_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Metrics produced by one simulation run — everything the paper's
+ * evaluation figures consume.
+ */
+
+#ifndef VALLEY_GPU_RUN_RESULT_HH
+#define VALLEY_GPU_RUN_RESULT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "dram/memory_controller.hh"
+#include "power/dram_power.hh"
+#include "power/gpu_power.hh"
+
+namespace valley {
+
+/** All outputs of GpuSystem::run. */
+struct RunResult
+{
+    std::string workload;
+    std::string scheme;
+    std::string config;
+
+    // --- Performance ------------------------------------------------------
+    Cycle cycles = 0;
+    double seconds = 0.0;
+    std::uint64_t instructions = 0;
+
+    // --- Memory hierarchy (Fig. 13) ----------------------------------------
+    std::uint64_t requests = 0;     ///< coalesced transactions issued
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t llcAccesses = 0;
+    std::uint64_t llcMisses = 0;
+    double llcMissRate = 0.0;
+    double nocLatencySmCycles = 0.0; ///< avg packet latency, SM cycles
+
+    // --- Parallelism (Fig. 14, sampled when >= 1 outstanding) --------------
+    double llcParallelism = 0.0;
+    double channelParallelism = 0.0;
+    double bankParallelism = 0.0; ///< banks per busy channel
+
+    // --- DRAM (Fig. 15/16) ----------------------------------------------
+    DramChannelStats dram;
+    double rowBufferHitRate = 0.0;
+    DramPowerBreakdown dramPower;
+
+    // --- System power (Fig. 17) ---------------------------------------------
+    GpuPowerBreakdown gpuPower;
+    double systemPowerW = 0.0;
+
+    // --- Derived -------------------------------------------------------------
+    double
+    apki() const
+    {
+        return instructions
+                   ? static_cast<double>(llcAccesses) * 1000.0 /
+                         static_cast<double>(instructions)
+                   : 0.0;
+    }
+
+    double
+    mpki() const
+    {
+        return instructions
+                   ? static_cast<double>(llcMisses) * 1000.0 /
+                         static_cast<double>(instructions)
+                   : 0.0;
+    }
+
+    /** Performance as 1/time; use ratios against a baseline run. */
+    double
+    performance() const
+    {
+        return seconds > 0.0 ? 1.0 / seconds : 0.0;
+    }
+
+    double
+    performancePerWatt() const
+    {
+        return systemPowerW > 0.0 ? performance() / systemPowerW : 0.0;
+    }
+};
+
+} // namespace valley
+
+#endif // VALLEY_GPU_RUN_RESULT_HH

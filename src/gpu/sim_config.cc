@@ -1,0 +1,44 @@
+#include "gpu/sim_config.hh"
+
+#include <stdexcept>
+
+namespace valley {
+
+SimConfig
+SimConfig::paperBaseline()
+{
+    return SimConfig{};
+}
+
+SimConfig
+SimConfig::withSms(unsigned sms)
+{
+    if (sms == 0)
+        throw std::invalid_argument("withSms: need at least one SM");
+    SimConfig cfg;
+    cfg.name = std::to_string(sms) + "SM conv. DRAM";
+    cfg.numSms = sms;
+    return cfg;
+}
+
+SimConfig
+SimConfig::stacked3d()
+{
+    SimConfig cfg;
+    cfg.name = "64SM 3D DRAM";
+    cfg.numSms = 64;
+    cfg.layout = AddressLayout::stacked3d();
+    cfg.dram = DramTiming::stacked3d();
+    cfg.dramPower = DramPowerParams::stacked3d();
+    // One memory partition (LLC slice + controller) per vault, as in
+    // the paper's 3D configuration scaled to 64 independent vaults.
+    cfg.llcSlices = 64;
+    cfg.mcQueueDepth = 32;
+    cfg.dramClockNum = 1250;
+    cfg.dramClockDen = 1400;
+    // 64 vaults x 16 banks make per-cycle sampling expensive.
+    cfg.metricSamplePeriod = 4;
+    return cfg;
+}
+
+} // namespace valley

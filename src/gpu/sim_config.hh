@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Simulated GPU configuration (paper Table I) and the preset
+ * variants used by the sensitivity studies (Fig. 18).
+ */
+
+#ifndef VALLEY_GPU_SIM_CONFIG_HH
+#define VALLEY_GPU_SIM_CONFIG_HH
+
+#include <string>
+
+#include "cache/set_assoc_cache.hh"
+#include "dram/dram_timing.hh"
+#include "mapping/address_layout.hh"
+#include "power/dram_power.hh"
+#include "power/gpu_power.hh"
+
+namespace valley {
+
+/** Full machine description consumed by GpuSystem. */
+struct SimConfig
+{
+    std::string name = "baseline";
+
+    // --- SMs (Table I "SM Configuration") ------------------------------
+    unsigned numSms = 12;
+    unsigned maxTbsPerSm = 8;
+    unsigned maxThreadsPerSm = 1536; ///< 48 warps x 32 threads
+    unsigned maxWarpsPerSm = 48;
+    unsigned schedulersPerSm = 2;    ///< GTO warp schedulers
+    unsigned lsuWidth = 2;           ///< L1 accesses per SM cycle
+    unsigned lsuQueueDepth = 96;
+    double smClockGhz = 1.4;
+
+    // --- L1D ------------------------------------------------------------
+    CacheConfig l1{16 * 1024, 4, 128, 32, /*writeAllocate=*/false};
+    unsigned l1HitLatency = 28; ///< SM cycles
+
+    // --- LLC (8 slices x 64 KB) ------------------------------------------
+    unsigned llcSlices = 8;
+    CacheConfig llcSlice{64 * 1024, 8, 128, 32, /*writeAllocate=*/true};
+    unsigned llcLatency = 60;   ///< slice pipeline latency, SM cycles
+    unsigned llcPortsPerTick = 2;
+
+    // --- NoC (12x8 crossbar, 700 MHz, 32 B channels) ---------------------
+    unsigned nocChannelBytes = 32;
+    unsigned nocPeriod = 2;     ///< SM cycles per NoC cycle
+    unsigned nocQueueDepth = 8;
+    unsigned readReqBytes = 8;
+    unsigned dataPacketBytes = 136; ///< 128 B line + header
+
+    // --- DRAM -------------------------------------------------------------
+    AddressLayout layout = AddressLayout::hynixGddr5();
+    DramTiming dram = DramTiming::hynixGddr5();
+    unsigned mcQueueDepth = 64;
+    /** DRAM ticks advance dramClockNum per dramClockDen SM cycles. */
+    unsigned dramClockNum = 924;
+    unsigned dramClockDen = 1400;
+
+    // --- Power ------------------------------------------------------------
+    DramPowerParams dramPower = DramPowerParams::hynixGddr5();
+    GpuPowerParams gpuPower = GpuPowerParams::gtx480Class();
+
+    // --- Metrics ------------------------------------------------------------
+    /** Sample Fig. 14 parallelism every N cycles (1 = every cycle). */
+    unsigned metricSamplePeriod = 1;
+
+    // --- Safety -------------------------------------------------------------
+    Cycle maxCycles = 400'000'000;
+    Cycle watchdogCycles = 2'000'000; ///< abort if nothing progresses
+
+    /** Table I configuration: 12 SMs + 4-channel GDDR5. */
+    static SimConfig paperBaseline();
+
+    /** Fig. 18: same memory system with 12/24/48 SMs. */
+    static SimConfig withSms(unsigned sms);
+
+    /** Fig. 18 right: 64 SMs + 3D-stacked memory (64 vaults). */
+    static SimConfig stacked3d();
+
+    /** LLC slices per DRAM channel (>= 1). */
+    unsigned
+    slicesPerChannel() const
+    {
+        const unsigned ch = layout.numChannels();
+        return llcSlices >= ch ? llcSlices / ch : 1;
+    }
+
+    /** LLC slice index of a mapped address' DRAM coordinates. */
+    unsigned
+    sliceOf(const DramCoord &c) const
+    {
+        const unsigned spc = slicesPerChannel();
+        return (c.channel * spc + (c.bank % spc)) % llcSlices;
+    }
+
+    /** Simulated seconds for a cycle count. */
+    double
+    secondsFor(Cycle cycles) const
+    {
+        return static_cast<double>(cycles) / (smClockGhz * 1e9);
+    }
+};
+
+} // namespace valley
+
+#endif // VALLEY_GPU_SIM_CONFIG_HH

@@ -1,0 +1,188 @@
+#include "harness/experiment.hh"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/stats.hh"
+#include "harness/result_cache.hh"
+
+namespace valley {
+namespace harness {
+
+RunResult
+runOne(const SimConfig &config, Scheme scheme,
+       const std::string &workload, double scale,
+       std::uint64_t bim_seed)
+{
+    const auto mapper =
+        mapping::makeScheme(scheme, config.layout, bim_seed);
+    const auto wl = workloads::make(workload, scale);
+    GpuSystem sim(config, *mapper);
+    return sim.run(*wl);
+}
+
+RunResult
+runOneCached(const SimConfig &config, Scheme scheme,
+             const std::string &workload, double scale,
+             std::uint64_t bim_seed)
+{
+    const std::string key = cacheKey(config.name, workload,
+                                     schemeName(scheme), bim_seed,
+                                     scale);
+    if (auto hit = cacheLookup(key)) {
+        hit->config = config.name;
+        return *hit;
+    }
+    RunResult r = runOne(config, scheme, workload, scale, bim_seed);
+    cacheStore(key, r);
+    return r;
+}
+
+Grid::Grid(GridOptions opts_, std::vector<std::vector<RunResult>> res)
+    : opts(std::move(opts_)), results(std::move(res))
+{
+}
+
+std::size_t
+Grid::wIndex(const std::string &workload) const
+{
+    for (std::size_t i = 0; i < opts.workloads.size(); ++i)
+        if (opts.workloads[i] == workload)
+            return i;
+    throw std::out_of_range("grid: unknown workload " + workload);
+}
+
+std::size_t
+Grid::sIndex(Scheme s) const
+{
+    for (std::size_t i = 0; i < opts.schemes.size(); ++i)
+        if (opts.schemes[i] == s)
+            return i;
+    throw std::out_of_range("grid: scheme not in grid");
+}
+
+const RunResult &
+Grid::at(const std::string &workload, Scheme s) const
+{
+    return results[wIndex(workload)][sIndex(s)];
+}
+
+double
+Grid::speedup(const std::string &workload, Scheme s) const
+{
+    const RunResult &base = at(workload, Scheme::BASE);
+    const RunResult &r = at(workload, s);
+    return r.seconds > 0.0 ? base.seconds / r.seconds : 0.0;
+}
+
+double
+Grid::dramPowerNorm(const std::string &workload, Scheme s) const
+{
+    const double base = at(workload, Scheme::BASE).dramPower.totalW();
+    const double v = at(workload, s).dramPower.totalW();
+    return base > 0.0 ? v / base : 0.0;
+}
+
+double
+Grid::systemPowerNorm(const std::string &workload, Scheme s) const
+{
+    const double base = at(workload, Scheme::BASE).systemPowerW;
+    const double v = at(workload, s).systemPowerW;
+    return base > 0.0 ? v / base : 0.0;
+}
+
+double
+Grid::perfPerWattNorm(const std::string &workload, Scheme s) const
+{
+    const double base =
+        at(workload, Scheme::BASE).performancePerWatt();
+    const double v = at(workload, s).performancePerWatt();
+    return base > 0.0 ? v / base : 0.0;
+}
+
+double
+Grid::hmeanSpeedup(Scheme s) const
+{
+    std::vector<double> v;
+    v.reserve(opts.workloads.size());
+    for (const auto &w : opts.workloads)
+        v.push_back(speedup(w, s));
+    return harmonicMean(v);
+}
+
+double
+Grid::mean(Scheme s,
+           const std::function<double(const RunResult &)> &metric) const
+{
+    std::vector<double> v;
+    v.reserve(opts.workloads.size());
+    for (const auto &w : opts.workloads)
+        v.push_back(metric(at(w, s)));
+    return arithmeticMean(v);
+}
+
+double
+Grid::meanDramPowerNorm(Scheme s) const
+{
+    std::vector<double> v;
+    for (const auto &w : opts.workloads)
+        v.push_back(dramPowerNorm(w, s));
+    return arithmeticMean(v);
+}
+
+double
+Grid::meanExecTimeNorm(Scheme s) const
+{
+    std::vector<double> v;
+    for (const auto &w : opts.workloads) {
+        const double sp = speedup(w, s);
+        v.push_back(sp > 0.0 ? 1.0 / sp : 0.0);
+    }
+    return arithmeticMean(v);
+}
+
+double
+Grid::meanSystemPowerNorm(Scheme s) const
+{
+    std::vector<double> v;
+    for (const auto &w : opts.workloads)
+        v.push_back(systemPowerNorm(w, s));
+    return arithmeticMean(v);
+}
+
+double
+Grid::hmeanPerfPerWattNorm(Scheme s) const
+{
+    std::vector<double> v;
+    for (const auto &w : opts.workloads)
+        v.push_back(perfPerWattNorm(w, s));
+    return harmonicMean(v);
+}
+
+Grid
+runGrid(GridOptions opts)
+{
+    std::vector<std::vector<RunResult>> results;
+    results.reserve(opts.workloads.size());
+    for (const auto &w : opts.workloads) {
+        std::vector<RunResult> row;
+        row.reserve(opts.schemes.size());
+        for (Scheme s : opts.schemes) {
+            if (opts.progress)
+                std::fprintf(stderr, "[grid] %-6s %-5s %s...\n",
+                             w.c_str(), schemeName(s).c_str(),
+                             opts.config.name.c_str());
+            row.push_back(
+                opts.useCache
+                    ? runOneCached(opts.config, s, w, opts.scale,
+                                   opts.bimSeed)
+                    : runOne(opts.config, s, w, opts.scale,
+                             opts.bimSeed));
+        }
+        results.push_back(std::move(row));
+    }
+    return Grid(std::move(opts), std::move(results));
+}
+
+} // namespace harness
+} // namespace valley

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Experiment harness: runs workloads x schemes grids, normalizes
+ * metrics against BASE, and aggregates means the way the paper's
+ * figures do (harmonic mean for speedups, arithmetic elsewhere).
+ */
+
+#ifndef VALLEY_HARNESS_EXPERIMENT_HH
+#define VALLEY_HARNESS_EXPERIMENT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gpu/gpu_system.hh"
+#include "gpu/run_result.hh"
+#include "gpu/sim_config.hh"
+#include "mapping/address_mapper.hh"
+#include "workloads/workload.hh"
+
+namespace valley {
+namespace harness {
+
+/** Grid options. */
+struct GridOptions
+{
+    SimConfig config = SimConfig::paperBaseline();
+    std::vector<std::string> workloads;  ///< Table II abbreviations
+    std::vector<Scheme> schemes = allSchemes();
+    std::uint64_t bimSeed = 1;           ///< "BIM-1" of Fig. 19
+    double scale = 1.0;                  ///< workload problem scale
+    bool progress = false;               ///< log runs to stderr
+    bool useCache = false;               ///< memoize via result_cache
+};
+
+/** Simulate one (config, scheme, workload) combination. */
+RunResult runOne(const SimConfig &config, Scheme scheme,
+                 const std::string &workload, double scale = 1.0,
+                 std::uint64_t bim_seed = 1);
+
+/** Like runOne, but consults/updates the on-disk result cache. */
+RunResult runOneCached(const SimConfig &config, Scheme scheme,
+                       const std::string &workload, double scale = 1.0,
+                       std::uint64_t bim_seed = 1);
+
+/**
+ * Results of a workloads x schemes grid with paper-style
+ * normalization helpers. BASE must be part of the scheme list for
+ * the normalized metrics.
+ */
+class Grid
+{
+  public:
+    Grid(GridOptions opts, std::vector<std::vector<RunResult>> results);
+
+    const GridOptions &options() const { return opts; }
+
+    const RunResult &at(const std::string &workload, Scheme s) const;
+
+    /** Exec-time speedup over BASE for one cell. */
+    double speedup(const std::string &workload, Scheme s) const;
+
+    /** DRAM power normalized to BASE. */
+    double dramPowerNorm(const std::string &workload, Scheme s) const;
+
+    /** System power normalized to BASE. */
+    double systemPowerNorm(const std::string &workload,
+                           Scheme s) const;
+
+    /** Performance per Watt normalized to BASE. */
+    double perfPerWattNorm(const std::string &workload,
+                           Scheme s) const;
+
+    /** Harmonic mean of per-workload speedups (paper HMEAN bars). */
+    double hmeanSpeedup(Scheme s) const;
+
+    /** Arithmetic mean of a per-cell metric across workloads. */
+    double mean(Scheme s,
+                const std::function<double(const RunResult &)> &metric)
+        const;
+
+    /** Arithmetic mean of normalized DRAM power across workloads. */
+    double meanDramPowerNorm(Scheme s) const;
+
+    /** Arithmetic mean of normalized exec time across workloads. */
+    double meanExecTimeNorm(Scheme s) const;
+
+    /** Arithmetic mean of normalized system power. */
+    double meanSystemPowerNorm(Scheme s) const;
+
+    /** Harmonic mean of normalized perf/Watt. */
+    double hmeanPerfPerWattNorm(Scheme s) const;
+
+  private:
+    std::size_t wIndex(const std::string &workload) const;
+    std::size_t sIndex(Scheme s) const;
+
+    GridOptions opts;
+    std::vector<std::vector<RunResult>> results; // [workload][scheme]
+};
+
+/** Run the full grid. */
+Grid runGrid(GridOptions opts);
+
+} // namespace harness
+} // namespace valley
+
+#endif // VALLEY_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,129 @@
+#include "harness/result_cache.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+namespace valley {
+namespace harness {
+
+const char *kResultCacheVersion = "v3";
+const char *kResultCacheFile = "valley_results_cache.csv";
+
+namespace {
+
+std::mutex cache_mutex;
+std::map<std::string, RunResult> cache;
+bool loaded = false;
+
+std::string
+serialize(const RunResult &r)
+{
+    std::ostringstream out;
+    out.precision(17);
+    out << r.workload << ' ' << r.scheme << ' ' << r.cycles << ' '
+        << r.seconds << ' ' << r.instructions << ' ' << r.requests
+        << ' ' << r.l1Accesses << ' ' << r.l1Misses << ' '
+        << r.llcAccesses << ' ' << r.llcMisses << ' ' << r.llcMissRate
+        << ' ' << r.nocLatencySmCycles << ' ' << r.llcParallelism
+        << ' ' << r.channelParallelism << ' ' << r.bankParallelism
+        << ' ' << r.dram.reads << ' ' << r.dram.writes << ' '
+        << r.dram.rowMisses << ' ' << r.dram.activations << ' '
+        << r.dram.precharges << ' ' << r.dram.busBusyCycles << ' '
+        << r.dram.latencySum << ' ' << r.rowBufferHitRate << ' '
+        << r.dramPower.backgroundW << ' ' << r.dramPower.activateW
+        << ' ' << r.dramPower.readW << ' ' << r.dramPower.writeW
+        << ' ' << r.gpuPower.staticW << ' ' << r.gpuPower.dynamicW
+        << ' ' << r.systemPowerW;
+    return out.str();
+}
+
+std::optional<RunResult>
+deserialize(const std::string &line)
+{
+    std::istringstream in(line);
+    RunResult r;
+    in >> r.workload >> r.scheme >> r.cycles >> r.seconds >>
+        r.instructions >> r.requests >> r.l1Accesses >> r.l1Misses >>
+        r.llcAccesses >> r.llcMisses >> r.llcMissRate >>
+        r.nocLatencySmCycles >> r.llcParallelism >>
+        r.channelParallelism >> r.bankParallelism >> r.dram.reads >>
+        r.dram.writes >> r.dram.rowMisses >> r.dram.activations >>
+        r.dram.precharges >> r.dram.busBusyCycles >>
+        r.dram.latencySum >> r.rowBufferHitRate >>
+        r.dramPower.backgroundW >> r.dramPower.activateW >>
+        r.dramPower.readW >> r.dramPower.writeW >>
+        r.gpuPower.staticW >> r.gpuPower.dynamicW >> r.systemPowerW;
+    if (!in)
+        return std::nullopt;
+    return r;
+}
+
+void
+loadOnce()
+{
+    if (loaded)
+        return;
+    loaded = true;
+    std::ifstream in(kResultCacheFile);
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto sep = line.find('|');
+        if (sep == std::string::npos)
+            continue;
+        const std::string key = line.substr(0, sep);
+        if (key.rfind(kResultCacheVersion, 0) != 0)
+            continue; // stale schema version
+        if (auto r = deserialize(line.substr(sep + 1)))
+            cache[key] = std::move(*r);
+    }
+}
+
+} // namespace
+
+bool
+cacheEnabled()
+{
+    const char *env = std::getenv("VALLEY_CACHE");
+    return env == nullptr || std::string(env) != "0";
+}
+
+std::string
+cacheKey(const std::string &config_name, const std::string &workload,
+         const std::string &scheme, std::uint64_t seed, double scale)
+{
+    std::ostringstream out;
+    out << kResultCacheVersion << ';' << config_name << ';' << workload
+        << ';' << scheme << ';' << seed << ';' << scale;
+    return out.str();
+}
+
+std::optional<RunResult>
+cacheLookup(const std::string &key)
+{
+    if (!cacheEnabled())
+        return std::nullopt;
+    std::lock_guard<std::mutex> lock(cache_mutex);
+    loadOnce();
+    const auto it = cache.find(key);
+    if (it == cache.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+cacheStore(const std::string &key, const RunResult &r)
+{
+    if (!cacheEnabled())
+        return;
+    std::lock_guard<std::mutex> lock(cache_mutex);
+    loadOnce();
+    cache[key] = r;
+    std::ofstream out(kResultCacheFile, std::ios::app);
+    out << key << '|' << serialize(r) << '\n';
+}
+
+} // namespace harness
+} // namespace valley

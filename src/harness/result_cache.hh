@@ -1,0 +1,49 @@
+/**
+ * @file
+ * On-disk memoization of simulation results.
+ *
+ * The paper's figures 11-17 all consume the same 10-workload x
+ * 6-scheme grid; the bench binaries are separate executables, so the
+ * first one to run persists each RunResult into a CSV cache in the
+ * working directory and later benches reuse it. Set VALLEY_CACHE=0 to
+ * force fresh simulation; delete the file after changing simulator or
+ * workload code (the cache key includes a schema version that is
+ * bumped with behavioral changes).
+ */
+
+#ifndef VALLEY_HARNESS_RESULT_CACHE_HH
+#define VALLEY_HARNESS_RESULT_CACHE_HH
+
+#include <optional>
+#include <string>
+
+#include "gpu/run_result.hh"
+
+namespace valley {
+namespace harness {
+
+/** Cache schema/behavior version; bump on simulator changes. */
+extern const char *kResultCacheVersion;
+
+/** Cache file used by the bench binaries. */
+extern const char *kResultCacheFile;
+
+/** True unless VALLEY_CACHE=0 is set in the environment. */
+bool cacheEnabled();
+
+/** Unique key of one run. */
+std::string cacheKey(const std::string &config_name,
+                     const std::string &workload,
+                     const std::string &scheme, std::uint64_t seed,
+                     double scale);
+
+/** Look up a cached result (loads the file on first use). */
+std::optional<RunResult> cacheLookup(const std::string &key);
+
+/** Persist a result (no-op when caching is disabled). */
+void cacheStore(const std::string &key, const RunResult &r);
+
+} // namespace harness
+} // namespace valley
+
+#endif // VALLEY_HARNESS_RESULT_CACHE_HH

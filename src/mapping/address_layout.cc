@@ -1,0 +1,203 @@
+#include "mapping/address_layout.hh"
+
+#include <cassert>
+#include <sstream>
+
+#include "common/bitops.hh"
+
+namespace valley {
+
+AddressLayout
+AddressLayout::hynixGddr5()
+{
+    AddressLayout l;
+    l.name = "Hynix GDDR5 1GB";
+    l.addrBits = 30;
+    l.block = {0, 6};    // 64 B DRAM block
+    l.colLo = {6, 2};    // low column bits
+    l.channel = {8, 2};  // 4 channels   (valley bits 8-9 in the paper)
+    l.bank = {10, 4};    // 16 banks     (valley includes bank bit 10)
+    l.colHi = {14, 4};   // high column bits (64 columns total)
+    l.row = {18, 12};    // 4 K rows
+    l.vault = {0, 0};
+    assert(l.capacityBytes() == (std::uint64_t{1} << 30));
+    return l;
+}
+
+AddressLayout
+AddressLayout::stacked3d()
+{
+    AddressLayout l;
+    l.name = "3D-stacked 4GB (4 stacks x 16 vaults)";
+    l.addrBits = 32;
+    l.block = {0, 6};
+    l.colLo = {6, 2};
+    l.channel = {8, 2};  // stack select
+    l.vault = {10, 4};   // 16 vaults per stack
+    l.bank = {14, 4};    // 16 banks per vault
+    l.colHi = {18, 4};
+    l.row = {22, 10};    // 1 K rows per bank
+    assert(l.capacityBytes() == (std::uint64_t{1} << 32));
+    return l;
+}
+
+unsigned
+AddressLayout::numChannels() const
+{
+    return 1u << (channel.width + vault.width);
+}
+
+unsigned
+AddressLayout::numBanksPerChannel() const
+{
+    return 1u << bank.width;
+}
+
+unsigned
+AddressLayout::numRows() const
+{
+    return 1u << row.width;
+}
+
+unsigned
+AddressLayout::numColumns() const
+{
+    return 1u << (colLo.width + colHi.width);
+}
+
+std::uint64_t
+AddressLayout::capacityBytes() const
+{
+    return std::uint64_t{1} << addrBits;
+}
+
+unsigned
+AddressLayout::blockBytes() const
+{
+    return 1u << block.width;
+}
+
+DramCoord
+AddressLayout::decode(Addr a) const
+{
+    DramCoord c;
+    const auto field = [a](const BitField &f) -> unsigned {
+        if (f.width == 0)
+            return 0;
+        return static_cast<unsigned>(bits::extract(a, f.hi(), f.lo));
+    };
+    c.channel = field(channel);
+    if (vault.width)
+        c.channel = c.channel * (1u << vault.width) + field(vault);
+    c.bank = field(bank);
+    c.row = field(row);
+    c.column = (field(colHi) << colLo.width) | field(colLo);
+    return c;
+}
+
+Addr
+AddressLayout::encode(const DramCoord &c) const
+{
+    Addr a = 0;
+    const auto put = [&a](const BitField &f, unsigned v) {
+        if (f.width)
+            a = bits::insert(a, f.hi(), f.lo, v);
+    };
+    unsigned chan = c.channel;
+    if (vault.width) {
+        put(vault, chan & ((1u << vault.width) - 1));
+        chan >>= vault.width;
+    }
+    put(channel, chan);
+    put(bank, c.bank);
+    put(row, c.row);
+    put(colLo, c.column & ((1u << colLo.width) - 1));
+    put(colHi, c.column >> colLo.width);
+    return a;
+}
+
+void
+AddressLayout::appendField(std::vector<unsigned> &v, const BitField &f)
+{
+    for (unsigned i = 0; i < f.width; ++i)
+        v.push_back(f.lo + i);
+}
+
+std::vector<unsigned>
+AddressLayout::randomizeTargets() const
+{
+    std::vector<unsigned> v;
+    appendField(v, channel);
+    appendField(v, vault);
+    appendField(v, bank);
+    return v;
+}
+
+std::vector<unsigned>
+AddressLayout::channelBits() const
+{
+    std::vector<unsigned> v;
+    appendField(v, channel);
+    appendField(v, vault);
+    return v;
+}
+
+std::vector<unsigned>
+AddressLayout::bankBits() const
+{
+    std::vector<unsigned> v;
+    appendField(v, bank);
+    return v;
+}
+
+std::vector<unsigned>
+AddressLayout::rowBits() const
+{
+    std::vector<unsigned> v;
+    appendField(v, row);
+    return v;
+}
+
+std::uint64_t
+AddressLayout::pageMask() const
+{
+    return row.positionMask() | channel.positionMask() |
+           vault.positionMask() | bank.positionMask();
+}
+
+std::uint64_t
+AddressLayout::columnMask() const
+{
+    return colLo.positionMask() | colHi.positionMask();
+}
+
+std::uint64_t
+AddressLayout::nonBlockMask() const
+{
+    return bits::mask(addrBits) & ~block.positionMask();
+}
+
+std::string
+AddressLayout::describe() const
+{
+    struct Named { const char *label; const BitField *f; };
+    const Named fields[] = {
+        {"row", &row},     {"colHi", &colHi}, {"bank", &bank},
+        {"vault", &vault}, {"ch", &channel},  {"colLo", &colLo},
+        {"block", &block},
+    };
+    std::ostringstream out;
+    out << name << " (" << addrBits << "-bit): ";
+    bool first = true;
+    for (const auto &nf : fields) {
+        if (nf.f->width == 0)
+            continue;
+        if (!first)
+            out << " | ";
+        first = false;
+        out << nf.label << "[" << nf.f->hi() << ":" << nf.f->lo << "]";
+    }
+    return out.str();
+}
+
+} // namespace valley

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Address mapping schemes evaluated by the paper (Section VI):
+ *
+ *  - BASE: the Hynix address map, i.e. the identity BIM.
+ *  - PM:   permutation-based mapping [4,5]; XORs each channel/bank bit
+ *          with one low-order row bit.
+ *  - RMP:  remap; routes the globally highest-entropy bits into the
+ *          channel/bank positions.
+ *  - PAE:  Broad strategy, inputs limited to the DRAM page address
+ *          bits (row + channel + bank) — the power-efficient scheme.
+ *  - FAE:  Broad strategy, inputs from the full (non-block) address.
+ *  - ALL:  like FAE but also rewrites the row and column output bits.
+ *
+ * Every scheme is realized as a BIM, so mapping is one GF(2)
+ * matrix-vector product == a tree of XOR gates in hardware.
+ */
+
+#ifndef VALLEY_MAPPING_ADDRESS_MAPPER_HH
+#define VALLEY_MAPPING_ADDRESS_MAPPER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bim/bit_matrix.hh"
+#include "mapping/address_layout.hh"
+
+namespace valley {
+
+/** The six schemes of the paper's evaluation. */
+enum class Scheme { BASE, PM, RMP, PAE, FAE, ALL };
+
+/** All schemes in the paper's presentation order. */
+const std::vector<Scheme> &allSchemes();
+
+/** Scheme name as printed in the paper's figures. */
+std::string schemeName(Scheme s);
+
+/**
+ * An address mapper: a named BIM bound to an address layout. Maps
+ * physical addresses right after memory coalescing (Section IV) and
+ * can decode the mapped address into DRAM coordinates.
+ */
+class AddressMapper
+{
+  public:
+    AddressMapper(std::string name, AddressLayout layout, BitMatrix bim);
+
+    /** Transform an input address into the remapped address. */
+    Addr map(Addr a) const { return matrix_.apply(a); }
+
+    /** Decode DRAM coordinates of the *mapped* address. */
+    DramCoord
+    coordOf(Addr a) const
+    {
+        return layout_.decode(map(a));
+    }
+
+    const std::string &name() const { return name_; }
+    const AddressLayout &layout() const { return layout_; }
+    const BitMatrix &matrix() const { return matrix_; }
+
+    /** Extra pipeline latency of the remap logic, in SM cycles. */
+    unsigned
+    remapLatency() const
+    {
+        // The paper assumes a single cycle for all but BASE.
+        return matrix_.xorGateCount() == 0 ? 0 : 1;
+    }
+
+  private:
+    std::string name_;
+    AddressLayout layout_;
+    BitMatrix matrix_;
+};
+
+namespace mapping {
+
+/**
+ * Build one of the six paper schemes for a layout.
+ *
+ * @param s      scheme
+ * @param layout DRAM address layout (conventional or 3D-stacked)
+ * @param seed   BIM instantiation seed for PAE/FAE/ALL ("BIM-1..3" in
+ *               Fig. 19 are seeds 1..3); ignored by BASE/PM/RMP
+ */
+std::unique_ptr<AddressMapper> makeScheme(Scheme s,
+                                          const AddressLayout &layout,
+                                          std::uint64_t seed = 1);
+
+/**
+ * Remap scheme with explicit donor bits (ascending target order).
+ * `makeScheme(RMP,...)` uses the paper's global-entropy bits for the
+ * GDDR5 layout; this overload supports profile-driven selection.
+ */
+std::unique_ptr<AddressMapper> makeRemap(
+    const AddressLayout &layout, const std::vector<unsigned> &source_bits);
+
+/** Wrap an arbitrary (invertible) BIM as a mapper. */
+std::unique_ptr<AddressMapper> makeCustom(std::string name,
+                                          const AddressLayout &layout,
+                                          BitMatrix bim);
+
+/**
+ * The minimalist open-page mapping of Kaseridis et al. [7], one of
+ * the paper's Remap-strategy examples: route the address bits
+ * immediately above the column field — where streaming CPU workloads
+ * carry their entropy — into the channel/bank positions.
+ */
+std::unique_ptr<AddressMapper> makeMinimalistOpenPage(
+    const AddressLayout &layout);
+
+/**
+ * Profile-driven Remap: route the `n` highest-entropy bits of the
+ * given per-bit profile (restricted to non-block bits) into the
+ * channel/bank positions — the Section IV-B design-time methodology
+ * as a reusable tool.
+ */
+std::unique_ptr<AddressMapper> makeRemapFromProfile(
+    const AddressLayout &layout, const std::vector<double> &per_bit);
+
+} // namespace mapping
+} // namespace valley
+
+#endif // VALLEY_MAPPING_ADDRESS_MAPPER_HH

@@ -1,0 +1,30 @@
+#include "power/dram_power.hh"
+
+#include <cassert>
+
+namespace valley {
+
+DramPowerBreakdown
+computeDramPower(const DramChannelStats &stats, unsigned channels,
+                 double seconds, const DramPowerParams &params)
+{
+    DramPowerBreakdown out;
+    if (seconds <= 0.0)
+        return out;
+
+    out.backgroundW =
+        (params.backgroundWattsPerChannel +
+         params.refreshWattsPerChannel) *
+        static_cast<double>(channels);
+
+    constexpr double nj = 1e-9;
+    out.activateW = static_cast<double>(stats.activations) *
+                    params.activateEnergyNj * nj / seconds;
+    out.readW = static_cast<double>(stats.reads) *
+                params.readEnergyNj * nj / seconds;
+    out.writeW = static_cast<double>(stats.writes) *
+                 params.writeEnergyNj * nj / seconds;
+    return out;
+}
+
+} // namespace valley

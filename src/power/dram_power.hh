@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Micron-style DRAM power model (paper Section V, "Calculating Memory
+ * System Power for DDR3" [24], configured for the Hynix GDDR5 parts).
+ *
+ * The model charges four components, matching Fig. 16's breakdown:
+ *  - background: always-on standby + refresh power per channel,
+ *  - activate:   energy per ACT/PRE pair (row buffer fills),
+ *  - read:       energy per read burst,
+ *  - write:      energy per write burst.
+ *
+ * Event counts come from the FR-FCFS controllers. Energies are
+ * system-level (all devices of a channel) and calibrated so that a
+ * fully utilized 118 GB/s GDDR5 subsystem draws a few tens of Watts,
+ * the scale of the paper's Fig. 16.
+ */
+
+#ifndef VALLEY_POWER_DRAM_POWER_HH
+#define VALLEY_POWER_DRAM_POWER_HH
+
+#include "dram/memory_controller.hh"
+
+namespace valley {
+
+/** Energy/power coefficients of the DRAM devices. */
+struct DramPowerParams
+{
+    double backgroundWattsPerChannel = 3.0; ///< standby (IDD2N-class)
+    double refreshWattsPerChannel = 0.4;    ///< distributed refresh
+    /**
+     * Per ACT/PRE pair, all devices of a channel (V * IDD0-overhead *
+     * tRC * 8 GDDR5 chips ~ 40-80 nJ).
+     */
+    double activateEnergyNj = 55.0;
+    double readEnergyNj = 12.0;             ///< per 128 B read burst
+    double writeEnergyNj = 13.0;            ///< per 128 B write burst
+
+    static DramPowerParams
+    hynixGddr5()
+    {
+        return DramPowerParams{};
+    }
+
+    /** 3D-stacked DRAM: TSV I/O is cheaper per bit, core similar. */
+    static DramPowerParams
+    stacked3d()
+    {
+        DramPowerParams p;
+        p.backgroundWattsPerChannel = 0.25; // per vault (64 vaults)
+        p.refreshWattsPerChannel = 0.05;
+        p.activateEnergyNj = 14.0;
+        p.readEnergyNj = 8.0;
+        p.writeEnergyNj = 9.0;
+        return p;
+    }
+};
+
+/** The four-component breakdown of Fig. 16. */
+struct DramPowerBreakdown
+{
+    double backgroundW = 0.0;
+    double activateW = 0.0;
+    double readW = 0.0;
+    double writeW = 0.0;
+
+    double
+    totalW() const
+    {
+        return backgroundW + activateW + readW + writeW;
+    }
+};
+
+/**
+ * Average DRAM power over an interval.
+ *
+ * @param stats    aggregated controller event counts
+ * @param channels number of channels (background multiplier)
+ * @param seconds  wall-clock duration of the interval
+ */
+DramPowerBreakdown computeDramPower(const DramChannelStats &stats,
+                                    unsigned channels, double seconds,
+                                    const DramPowerParams &params);
+
+} // namespace valley
+
+#endif // VALLEY_POWER_DRAM_POWER_HH

@@ -1,0 +1,35 @@
+#include "power/gpu_power.hh"
+
+namespace valley {
+
+GpuPowerBreakdown
+computeGpuPower(const GpuActivityCounts &activity, unsigned num_sms,
+                double seconds, const GpuPowerParams &params)
+{
+    GpuPowerBreakdown out;
+    out.staticW = params.staticWattsPerSm * num_sms +
+                  params.staticWattsUncore;
+    if (seconds <= 0.0)
+        return out;
+
+    constexpr double nj = 1e-9;
+    const double dyn_j =
+        static_cast<double>(activity.instructions) *
+            params.energyPerInstrNj * nj +
+        static_cast<double>(activity.l1Accesses) *
+            params.energyPerL1AccessNj * nj +
+        static_cast<double>(activity.llcAccesses) *
+            params.energyPerLlcAccessNj * nj +
+        static_cast<double>(activity.nocFlits) *
+            params.energyPerNocFlitNj * nj;
+    out.dynamicW = dyn_j / seconds;
+    return out;
+}
+
+double
+systemPowerW(const GpuPowerBreakdown &gpu, const DramPowerBreakdown &dram)
+{
+    return gpu.totalW() + dram.totalW();
+}
+
+} // namespace valley

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * GPUWattch-style GPU power model (paper Section V, [23]).
+ *
+ * Reduced to the granularity the experiments need: static leakage
+ * proportional to the SM count plus per-event dynamic energies for
+ * instructions, L1/LLC accesses and NoC flits. Combined with the
+ * Micron DRAM model it yields total system power for the
+ * performance-per-Watt results (Fig. 17); the paper notes DRAM power
+ * is up to 40% of the system total (footnote 3), which these defaults
+ * respect.
+ */
+
+#ifndef VALLEY_POWER_GPU_POWER_HH
+#define VALLEY_POWER_GPU_POWER_HH
+
+#include <cstdint>
+
+#include "power/dram_power.hh"
+
+namespace valley {
+
+/** Per-event GPU core/uncore energies and leakage. */
+struct GpuPowerParams
+{
+    double staticWattsPerSm = 3.0;   ///< SM leakage + clock tree
+    double staticWattsUncore = 9.0;  ///< LLC + NoC + MCs leakage
+    /**
+     * Dynamic energy per *thread-level* instruction (Table II counts
+     * PTX instructions per thread; a warp instruction is ~32 of
+     * these, so this is ~2 nJ per warp instruction — GPUWattch-scale).
+     */
+    double energyPerInstrNj = 0.06;
+    double energyPerL1AccessNj = 0.4;
+    double energyPerLlcAccessNj = 1.6;
+    double energyPerNocFlitNj = 0.5;
+
+    static GpuPowerParams
+    gtx480Class()
+    {
+        return GpuPowerParams{};
+    }
+};
+
+/** Dynamic event counts accumulated by the simulator. */
+struct GpuActivityCounts
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t llcAccesses = 0;
+    std::uint64_t nocFlits = 0;
+};
+
+/** GPU (non-DRAM) power split. */
+struct GpuPowerBreakdown
+{
+    double staticW = 0.0;
+    double dynamicW = 0.0;
+
+    double
+    totalW() const
+    {
+        return staticW + dynamicW;
+    }
+};
+
+/** Average GPU power over an interval of `seconds`. */
+GpuPowerBreakdown computeGpuPower(const GpuActivityCounts &activity,
+                                  unsigned num_sms, double seconds,
+                                  const GpuPowerParams &params);
+
+/** Total system power: GPU + DRAM (paper's perf/Watt denominator). */
+double systemPowerW(const GpuPowerBreakdown &gpu,
+                    const DramPowerBreakdown &dram);
+
+} // namespace valley
+
+#endif // VALLEY_POWER_GPU_POWER_HH

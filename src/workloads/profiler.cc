@@ -1,0 +1,42 @@
+#include "workloads/profiler.hh"
+
+namespace valley {
+namespace workloads {
+
+EntropyProfile
+profileKernel(const Kernel &kernel, const ProfileOptions &opts)
+{
+    std::vector<std::vector<double>> tb_bvrs;
+    tb_bvrs.reserve(kernel.numTbs());
+    std::uint64_t requests = 0;
+
+    for (TbId tb = 0; tb < kernel.numTbs(); ++tb) {
+        BvrAccumulator acc(opts.numBits);
+        const TbTrace trace = kernel.trace(tb);
+        for (const WarpTrace &w : trace.warps) {
+            for (const MemInstr &instr : w.instrs) {
+                for (Addr line : instr.lines) {
+                    const Addr a =
+                        opts.mapper ? opts.mapper->map(line) : line;
+                    acc.add(a);
+                }
+            }
+        }
+        requests += acc.requestCount();
+        tb_bvrs.push_back(acc.bvrs());
+    }
+    return kernelProfile(tb_bvrs, opts.window, requests, opts.metric);
+}
+
+EntropyProfile
+profileWorkload(const Workload &workload, const ProfileOptions &opts)
+{
+    std::vector<EntropyProfile> per_kernel;
+    per_kernel.reserve(workload.kernels().size());
+    for (const Kernel &k : workload.kernels())
+        per_kernel.push_back(profileKernel(k, opts));
+    return EntropyProfile::combine(per_kernel);
+}
+
+} // namespace workloads
+} // namespace valley

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Entropy profiling of workloads (paper Section III-B, Figs. 5 & 10).
+ *
+ * Bridges the workload trace generators and the window-entropy
+ * metric: gathers per-TB BVR vectors over the coalesced request
+ * addresses (optionally after an address mapper, for Fig. 10),
+ * computes per-kernel profiles with the TB window, and combines them
+ * weighted by request count.
+ */
+
+#ifndef VALLEY_WORKLOADS_PROFILER_HH
+#define VALLEY_WORKLOADS_PROFILER_HH
+
+#include "entropy/window_entropy.hh"
+#include "mapping/address_mapper.hh"
+#include "workloads/workload.hh"
+
+namespace valley {
+namespace workloads {
+
+/** Profiling knobs. */
+struct ProfileOptions
+{
+    unsigned window = 12;   ///< TB window w = #SMs (Section III-A)
+    unsigned numBits = 30;  ///< physical address bits
+    const AddressMapper *mapper = nullptr; ///< optional remapping
+    EntropyMetric metric = EntropyMetric::BitProbability;
+};
+
+/** Per-bit entropy profile of a single kernel. */
+EntropyProfile profileKernel(const Kernel &kernel,
+                             const ProfileOptions &opts);
+
+/**
+ * Application-level profile: request-count weighted average of the
+ * per-kernel profiles.
+ */
+EntropyProfile profileWorkload(const Workload &workload,
+                               const ProfileOptions &opts);
+
+} // namespace workloads
+} // namespace valley
+
+#endif // VALLEY_WORKLOADS_PROFILER_HH

@@ -1,0 +1,79 @@
+#include "workloads/trace.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace valley {
+
+std::vector<Addr>
+coalesce(std::span<const Addr> thread_addrs, unsigned line_bytes)
+{
+    std::vector<Addr> lines;
+    lines.reserve(thread_addrs.size());
+    for (Addr a : thread_addrs)
+        lines.push_back(a / line_bytes * line_bytes);
+    std::sort(lines.begin(), lines.end());
+    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+    return lines;
+}
+
+TraceBuilder::TraceBuilder(unsigned warps_per_tb, unsigned line_bytes,
+                           unsigned compute_gap)
+    : lineBytes_(line_bytes), computeGap(compute_gap),
+      pendingGap(warps_per_tb, 0)
+{
+    tb.warps.resize(warps_per_tb);
+}
+
+void
+TraceBuilder::access(unsigned warp, std::span<const Addr> thread_addrs,
+                     bool write)
+{
+    assert(warp < tb.warps.size());
+    MemInstr instr;
+    instr.lines = coalesce(thread_addrs, lineBytes_);
+    if (instr.lines.empty())
+        return;
+    instr.write = write;
+    instr.gap = static_cast<std::uint16_t>(
+        std::min<unsigned>(computeGap + pendingGap[warp], 0xFFFF));
+    pendingGap[warp] = 0;
+    tb.warps[warp].instrs.push_back(std::move(instr));
+}
+
+void
+TraceBuilder::accessStrided(unsigned warp, Addr base, std::int64_t stride,
+                            unsigned threads, bool write)
+{
+    std::vector<Addr> addrs;
+    addrs.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        const std::int64_t a = static_cast<std::int64_t>(base) +
+                               static_cast<std::int64_t>(t) * stride;
+        assert(a >= 0);
+        addrs.push_back(static_cast<Addr>(a));
+    }
+    access(warp, addrs, write);
+}
+
+void
+TraceBuilder::accessLine(unsigned warp, Addr line_addr, bool write)
+{
+    const Addr line = line_addr / lineBytes_ * lineBytes_;
+    access(warp, std::span<const Addr>(&line, 1), write);
+}
+
+void
+TraceBuilder::computeDelay(unsigned warp, unsigned cycles)
+{
+    assert(warp < tb.warps.size());
+    pendingGap[warp] += cycles;
+}
+
+TbTrace
+TraceBuilder::take()
+{
+    return std::move(tb);
+}
+
+} // namespace valley

@@ -1,0 +1,48 @@
+#include "workloads/workload.hh"
+
+#include <cassert>
+
+namespace valley {
+
+Kernel::Kernel(KernelParams params, TraceFn fn_)
+    : params_(std::move(params)), fn(std::move(fn_))
+{
+    assert(params_.numTbs >= 1);
+    assert(params_.warpsPerTb >= 1);
+}
+
+TbTrace
+Kernel::trace(TbId tb) const
+{
+    assert(tb < params_.numTbs);
+    TraceBuilder builder(params_.warpsPerTb, workloads::kLineBytes,
+                         params_.computeGap);
+    fn(tb, builder);
+    return builder.take();
+}
+
+std::uint64_t
+Kernel::countRequests() const
+{
+    std::uint64_t n = 0;
+    for (TbId tb = 0; tb < params_.numTbs; ++tb)
+        n += trace(tb).requestCount();
+    return n;
+}
+
+Workload::Workload(WorkloadInfo info, std::vector<Kernel> kernels)
+    : info_(std::move(info)), kernels_(std::move(kernels))
+{
+    assert(!kernels_.empty());
+}
+
+std::uint64_t
+Workload::countRequests() const
+{
+    std::uint64_t n = 0;
+    for (const Kernel &k : kernels_)
+        n += k.countRequests();
+    return n;
+}
+
+} // namespace valley

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Kernel and Workload abstractions plus the benchmark registry
+ * (paper Table II).
+ *
+ * Each of the 16 benchmarks is reproduced as a synthetic trace
+ * generator that mimics the documented address pattern of its
+ * namesake CUDA kernel (see DESIGN.md for the substitution
+ * rationale). Generators are deterministic: the same (workload,
+ * kernel, TB) always yields the same trace.
+ */
+
+#ifndef VALLEY_WORKLOADS_WORKLOAD_HH
+#define VALLEY_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/trace.hh"
+
+namespace valley {
+
+/** Static parameters of one kernel launch. */
+struct KernelParams
+{
+    std::string name = "kernel";
+    unsigned numTbs = 1;
+    unsigned warpsPerTb = 8;       ///< 8 warps = 256 threads
+    unsigned computeGap = 8;       ///< SM cycles between a warp's accesses
+    double instrsPerRequest = 60;  ///< dynamic instrs per memory request
+};
+
+/** Deterministic generator: fill the builder with TB `tb`'s trace. */
+using TraceFn = std::function<void(TbId tb, TraceBuilder &out)>;
+
+/**
+ * One kernel launch. Lightweight: holds the generator closure; traces
+ * are produced lazily per TB.
+ */
+class Kernel
+{
+  public:
+    Kernel(KernelParams params, TraceFn fn);
+
+    /** Generate the trace of one TB (line size 128 B). */
+    TbTrace trace(TbId tb) const;
+
+    const KernelParams &params() const { return params_; }
+    const std::string &name() const { return params_.name; }
+    unsigned numTbs() const { return params_.numTbs; }
+    unsigned warpsPerTb() const { return params_.warpsPerTb; }
+    unsigned
+    threadsPerTb() const
+    {
+        return params_.warpsPerTb * 32;
+    }
+
+    /** Coalesced transactions of the whole kernel (generates traces). */
+    std::uint64_t countRequests() const;
+
+  private:
+    KernelParams params_;
+    TraceFn fn;
+};
+
+/** Identity of one benchmark (Table II row). */
+struct WorkloadInfo
+{
+    std::string name;    ///< e.g. "Transpose"
+    std::string abbrev;  ///< e.g. "MT"
+    std::string suite;   ///< e.g. "CUDA SDK"
+    bool entropyValley = false; ///< top group of Table II
+};
+
+/** A benchmark: metadata + its kernel launch sequence. */
+class Workload
+{
+  public:
+    Workload(WorkloadInfo info, std::vector<Kernel> kernels);
+
+    const WorkloadInfo &info() const { return info_; }
+    const std::vector<Kernel> &kernels() const { return kernels_; }
+    unsigned
+    numKernels() const
+    {
+        return static_cast<unsigned>(kernels_.size());
+    }
+
+    /** Total coalesced transactions (generates all traces; O(trace)). */
+    std::uint64_t countRequests() const;
+
+  private:
+    WorkloadInfo info_;
+    std::vector<Kernel> kernels_;
+};
+
+namespace workloads {
+
+/**
+ * Build one benchmark by abbreviation (Table II: MT, LU, GS, NW, LPS,
+ * SC, SRAD2, DWT2D, HS, SP, FWT, NN, SPMV, LM, MUM, BFS).
+ *
+ * @param scale linear problem-size scale in (0, 1]; 1.0 is the
+ *              default evaluation size, smaller values shrink traces
+ *              for fast tests.
+ */
+std::unique_ptr<Workload> make(const std::string &abbrev,
+                               double scale = 1.0);
+
+/** The ten entropy-valley benchmarks (Fig. 12 set), paper order. */
+const std::vector<std::string> &valleySet();
+
+/** The six non-valley benchmarks (Fig. 20 set), paper order. */
+const std::vector<std::string> &nonValleySet();
+
+/** All sixteen, paper order. */
+const std::vector<std::string> &allSet();
+
+/** Line size used by every generator (Table I L1/LLC line). */
+constexpr unsigned kLineBytes = 128;
+
+} // namespace workloads
+} // namespace valley
+
+#endif // VALLEY_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the DRAM address layouts (paper Fig. 4 + 3D config).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+#include "mapping/address_layout.hh"
+
+using namespace valley;
+
+TEST(HynixLayout, GeometryMatchesTableI)
+{
+    const AddressLayout l = AddressLayout::hynixGddr5();
+    EXPECT_EQ(l.addrBits, 30u);
+    EXPECT_EQ(l.numChannels(), 4u);
+    EXPECT_EQ(l.numBanksPerChannel(), 16u);
+    EXPECT_EQ(l.numRows(), 4096u);
+    EXPECT_EQ(l.numColumns(), 64u);
+    EXPECT_EQ(l.blockBytes(), 64u);
+    EXPECT_EQ(l.capacityBytes(), std::uint64_t{1} << 30); // 1 GB
+}
+
+TEST(HynixLayout, FieldPositionsMatchPaperText)
+{
+    // Section VI: "channel bits 8-9 and bank bit 10" are in the BASE
+    // valley; the channel field is [9:8] and bank [13:10].
+    const AddressLayout l = AddressLayout::hynixGddr5();
+    EXPECT_EQ(l.channel.lo, 8u);
+    EXPECT_EQ(l.channel.hi(), 9u);
+    EXPECT_EQ(l.bank.lo, 10u);
+    EXPECT_EQ(l.bank.hi(), 13u);
+    EXPECT_EQ(l.row.lo, 18u);
+    EXPECT_EQ(l.row.hi(), 29u);
+    EXPECT_EQ(l.block.lo, 0u);
+    EXPECT_EQ(l.block.hi(), 5u);
+}
+
+TEST(HynixLayout, DecodeExtractsFields)
+{
+    const AddressLayout l = AddressLayout::hynixGddr5();
+    Addr a = 0;
+    a |= Addr{2} << 8;     // channel 2
+    a |= Addr{11} << 10;   // bank 11
+    a |= Addr{1234} << 18; // row 1234
+    a |= Addr{3} << 6;     // colLo = 3
+    a |= Addr{9} << 14;    // colHi = 9
+
+    const DramCoord c = l.decode(a);
+    EXPECT_EQ(c.channel, 2u);
+    EXPECT_EQ(c.bank, 11u);
+    EXPECT_EQ(c.row, 1234u);
+    EXPECT_EQ(c.column, (9u << 2) | 3u);
+}
+
+TEST(HynixLayout, EncodeDecodeRoundTrip)
+{
+    const AddressLayout l = AddressLayout::hynixGddr5();
+    for (unsigned ch = 0; ch < 4; ++ch) {
+        for (unsigned bank = 0; bank < 16; bank += 5) {
+            for (unsigned row = 0; row < 4096; row += 1111) {
+                for (unsigned col = 0; col < 64; col += 13) {
+                    const DramCoord in{ch, bank, row, col};
+                    const DramCoord out = l.decode(l.encode(in));
+                    EXPECT_EQ(out.channel, in.channel);
+                    EXPECT_EQ(out.bank, in.bank);
+                    EXPECT_EQ(out.row, in.row);
+                    EXPECT_EQ(out.column, in.column);
+                }
+            }
+        }
+    }
+}
+
+TEST(HynixLayout, BitPositionHelpers)
+{
+    const AddressLayout l = AddressLayout::hynixGddr5();
+    EXPECT_EQ(l.channelBits(), (std::vector<unsigned>{8, 9}));
+    EXPECT_EQ(l.bankBits(), (std::vector<unsigned>{10, 11, 12, 13}));
+    EXPECT_EQ(l.randomizeTargets(),
+              (std::vector<unsigned>{8, 9, 10, 11, 12, 13}));
+    ASSERT_EQ(l.rowBits().size(), 12u);
+    EXPECT_EQ(l.rowBits().front(), 18u);
+    EXPECT_EQ(l.rowBits().back(), 29u);
+}
+
+TEST(HynixLayout, Masks)
+{
+    const AddressLayout l = AddressLayout::hynixGddr5();
+    // page = row | ch | bank
+    const std::uint64_t page = (bits::mask(12) << 18) |
+                               (bits::mask(2) << 8) |
+                               (bits::mask(4) << 10);
+    EXPECT_EQ(l.pageMask(), page);
+    const std::uint64_t cols =
+        (bits::mask(2) << 6) | (bits::mask(4) << 14);
+    EXPECT_EQ(l.columnMask(), cols);
+    EXPECT_EQ(l.nonBlockMask(), bits::mask(30) & ~bits::mask(6));
+    // Fields must partition the address space.
+    EXPECT_EQ(l.pageMask() | l.columnMask() | bits::mask(6),
+              bits::mask(30));
+    EXPECT_EQ(l.pageMask() & l.columnMask(), 0u);
+}
+
+TEST(Stacked3dLayout, GeometryMatchesPaper)
+{
+    const AddressLayout l = AddressLayout::stacked3d();
+    EXPECT_EQ(l.addrBits, 32u);
+    // 4 stacks x 16 vaults = 64 independent buses.
+    EXPECT_EQ(l.numChannels(), 64u);
+    EXPECT_EQ(l.numBanksPerChannel(), 16u);
+    // 2 channel + 4 vault + 4 bank = 10 randomize-target bits
+    // ("2 channel bits, 4 vault bits and 4 bank bits", Section VI-D).
+    EXPECT_EQ(l.randomizeTargets().size(), 10u);
+    EXPECT_EQ(l.capacityBytes(), std::uint64_t{1} << 32);
+}
+
+TEST(Stacked3dLayout, DecodeGlobalChannelCombinesStackAndVault)
+{
+    const AddressLayout l = AddressLayout::stacked3d();
+    Addr a = 0;
+    a |= Addr{3} << 8;  // stack 3
+    a |= Addr{7} << 10; // vault 7
+    const DramCoord c = l.decode(a);
+    EXPECT_EQ(c.channel, 3u * 16 + 7);
+}
+
+TEST(Stacked3dLayout, EncodeDecodeRoundTrip)
+{
+    const AddressLayout l = AddressLayout::stacked3d();
+    for (unsigned ch = 0; ch < 64; ch += 9) {
+        const DramCoord in{ch, 5u, 77u, 13u};
+        const DramCoord out = l.decode(l.encode(in));
+        EXPECT_EQ(out.channel, in.channel);
+        EXPECT_EQ(out.bank, in.bank);
+        EXPECT_EQ(out.row, in.row);
+        EXPECT_EQ(out.column, in.column);
+    }
+}
+
+TEST(Layout, DescribeListsFields)
+{
+    const std::string d = AddressLayout::hynixGddr5().describe();
+    EXPECT_NE(d.find("row[29:18]"), std::string::npos);
+    EXPECT_NE(d.find("ch[9:8]"), std::string::npos);
+    EXPECT_NE(d.find("bank[13:10]"), std::string::npos);
+    EXPECT_NE(d.find("block[5:0]"), std::string::npos);
+}

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit and property tests for the BIM strategy builders.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "bim/bim_builder.hh"
+#include "common/bitops.hh"
+
+using namespace valley;
+
+TEST(Permutation, IdentityPermutation)
+{
+    std::vector<unsigned> id = {0, 1, 2, 3};
+    EXPECT_EQ(bim::permutation(4, id), BitMatrix::identity(4));
+}
+
+TEST(Permutation, SwapMovesBits)
+{
+    // out0 <- in1, out1 <- in0
+    const BitMatrix m = bim::permutation(2, {1, 0});
+    EXPECT_EQ(m.apply(0b01), 0b10u);
+    EXPECT_EQ(m.apply(0b10), 0b01u);
+    EXPECT_TRUE(m.invertible());
+}
+
+TEST(Permutation, RejectsNonPermutation)
+{
+    EXPECT_THROW(bim::permutation(3, {0, 0, 1}), std::invalid_argument);
+    EXPECT_THROW(bim::permutation(3, {0, 1}), std::invalid_argument);
+    EXPECT_THROW(bim::permutation(3, {0, 1, 5}), std::invalid_argument);
+}
+
+TEST(Remap, RoutesSourcesToTargets)
+{
+    // 8-bit space; route bits 6,7 into positions 2,3.
+    const BitMatrix m = bim::remap(8, {2, 3}, {6, 7});
+    EXPECT_TRUE(m.invertible());
+    // Input with only bit 6 set -> output only bit 2 set.
+    EXPECT_EQ(m.apply(1u << 6), 1u << 2);
+    EXPECT_EQ(m.apply(1u << 7), 1u << 3);
+    // Displaced inputs 2,3 must reappear at vacated outputs 6,7.
+    EXPECT_EQ(m.apply(1u << 2), 1u << 6);
+    EXPECT_EQ(m.apply(1u << 3), 1u << 7);
+    // Untouched bit.
+    EXPECT_EQ(m.apply(1u << 0), 1u << 0);
+}
+
+TEST(Remap, OverlappingSourceStaysInPlace)
+{
+    // Source 2 routed to target 2 (no-op route), source 5 to target 3.
+    const BitMatrix m = bim::remap(8, {2, 3}, {2, 5});
+    EXPECT_TRUE(m.invertible());
+    EXPECT_EQ(m.apply(1u << 2), 1u << 2);
+    EXPECT_EQ(m.apply(1u << 5), 1u << 3);
+    EXPECT_EQ(m.apply(1u << 3), 1u << 5); // displaced
+}
+
+TEST(Remap, PaperRmpBits)
+{
+    // GDDR5 RMP: ch/bank outputs {8..13} take inputs {8,9,10,11,15,16}.
+    const BitMatrix m =
+        bim::remap(30, {8, 9, 10, 11, 12, 13}, {8, 9, 10, 11, 15, 16});
+    EXPECT_TRUE(m.invertible());
+    EXPECT_EQ(m.apply(1u << 15), 1u << 12);
+    EXPECT_EQ(m.apply(1u << 16), 1u << 13);
+    // Displaced inputs 12,13 land in vacated outputs 15,16.
+    EXPECT_EQ(m.apply(1u << 12), 1u << 15);
+    EXPECT_EQ(m.apply(1u << 13), 1u << 16);
+    // Row bits untouched.
+    EXPECT_EQ(m.apply(1u << 20), 1u << 20);
+}
+
+TEST(Remap, RejectsMismatchedSizes)
+{
+    EXPECT_THROW(bim::remap(8, {1, 2}, {3}), std::invalid_argument);
+    EXPECT_THROW(bim::remap(8, {1, 1}, {3, 4}), std::invalid_argument);
+    EXPECT_THROW(bim::remap(8, {1, 2}, {3, 3}), std::invalid_argument);
+}
+
+TEST(PermutationBased, XorsDonorIntoTarget)
+{
+    // Fig. 6c: channel bit (1) gets row bit r1 (3); bank bit (0) gets
+    // row bit r0 (2), in the 5-bit [r2 r1 r0 c b] example space.
+    const BitMatrix m = bim::permutationBased(5, {1, 0}, {3, 2});
+    EXPECT_TRUE(m.invertible());
+    // Donor set, target clear -> target flips.
+    EXPECT_EQ(m.apply(0b01000), 0b01010u);
+    // Donor clear -> target unchanged.
+    EXPECT_EQ(m.apply(0b00010), 0b00010u);
+    // Both set -> XOR cancels.
+    EXPECT_EQ(m.apply(0b01010), 0b01000u);
+}
+
+TEST(PermutationBased, AlwaysInvertibleForDisjointDonors)
+{
+    // Donors outside the target set keep the matrix unit-triangular.
+    const BitMatrix m = bim::permutationBased(
+        30, {8, 9, 10, 11, 12, 13}, {18, 19, 20, 21, 22, 23});
+    EXPECT_TRUE(m.invertible());
+}
+
+TEST(PermutationBased, RejectsDonorInTargetSet)
+{
+    EXPECT_THROW(bim::permutationBased(8, {1, 2}, {2, 5}),
+                 std::invalid_argument);
+}
+
+TEST(FromRowSpecs, BuildsAndValidates)
+{
+    const BitMatrix m = bim::fromRowSpecs(5, {{1, 0b11110}, {0, 0b01101}});
+    EXPECT_TRUE(m.invertible());
+    EXPECT_EQ(m.row(1), 0b11110u);
+
+    // Singular spec rejected: row 1 duplicates row 2's identity.
+    EXPECT_THROW(bim::fromRowSpecs(5, {{1, 0b00100}}),
+                 std::invalid_argument);
+}
+
+TEST(RandomBroad, ProducesInvertibleMatrixWithIdentityNonTargets)
+{
+    XorShiftRng rng(1);
+    const std::vector<unsigned> targets = {8, 9, 10, 11, 12, 13};
+    const std::uint64_t candidates =
+        bits::mask(30) & ~bits::mask(8) & ~(bits::mask(4) << 14);
+    const BitMatrix m = bim::randomBroad(30, targets, candidates, rng);
+
+    EXPECT_TRUE(m.invertible());
+    for (unsigned b = 0; b < 30; ++b) {
+        const bool is_target =
+            std::find(targets.begin(), targets.end(), b) != targets.end();
+        if (!is_target) {
+            EXPECT_TRUE(m.rowIsIdentity(b)) << "bit " << b;
+        }
+    }
+}
+
+TEST(RandomBroad, RowsRespectCandidateMask)
+{
+    XorShiftRng rng(2);
+    const std::vector<unsigned> targets = {8, 9, 10, 11, 12, 13};
+    const std::uint64_t candidates =
+        (bits::mask(12) << 18) | (bits::mask(6) << 8); // page bits
+    const BitMatrix m = bim::randomBroad(30, targets, candidates, rng);
+    for (unsigned t : targets)
+        EXPECT_EQ(m.row(t) & ~candidates, 0u) << "target " << t;
+}
+
+TEST(RandomBroad, RespectsMinTaps)
+{
+    XorShiftRng rng(3);
+    const std::vector<unsigned> targets = {8, 9, 10, 11, 12, 13};
+    const std::uint64_t candidates = (bits::mask(12) << 18) |
+                                     (bits::mask(6) << 8);
+    const BitMatrix m =
+        bim::randomBroad(30, targets, candidates, rng, /*min_taps=*/4);
+    for (unsigned t : targets)
+        EXPECT_GE(std::popcount(m.row(t)), 4);
+}
+
+TEST(RandomBroad, DeterministicPerSeed)
+{
+    const std::vector<unsigned> targets = {8, 9, 10, 11, 12, 13};
+    const std::uint64_t candidates = (bits::mask(12) << 18) |
+                                     (bits::mask(6) << 8);
+    XorShiftRng r1(42), r2(42), r3(43);
+    const BitMatrix a = bim::randomBroad(30, targets, candidates, r1);
+    const BitMatrix b = bim::randomBroad(30, targets, candidates, r2);
+    const BitMatrix c = bim::randomBroad(30, targets, candidates, r3);
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a == c);
+}
+
+TEST(RandomBroad, RejectsTargetOutsideCandidates)
+{
+    XorShiftRng rng(4);
+    // Target 8 not within candidate mask -> identity rows cover column 8
+    // twice; no invertible matrix exists, builder must refuse.
+    EXPECT_THROW(
+        bim::randomBroad(30, {8}, bits::mask(12) << 18, rng),
+        std::invalid_argument);
+}
+
+TEST(RandomBroad, MappingIsBijectiveOnSample)
+{
+    XorShiftRng rng(7);
+    const std::vector<unsigned> targets = {8, 9, 10, 11, 12, 13};
+    const std::uint64_t candidates =
+        (bits::mask(12) << 18) | (bits::mask(6) << 8);
+    const BitMatrix m = bim::randomBroad(30, targets, candidates, rng);
+    const auto inv = m.inverse();
+    ASSERT_TRUE(inv.has_value());
+    XorShiftRng addr_rng(1001);
+    for (int i = 0; i < 5000; ++i) {
+        const Addr a = addr_rng.next() & bits::mask(30);
+        EXPECT_EQ(inv->apply(m.apply(a)), a);
+    }
+}
+
+TEST(RandomBroad, BlockBitsNeverTouched)
+{
+    XorShiftRng rng(8);
+    const std::vector<unsigned> targets = {8, 9, 10, 11, 12, 13};
+    const std::uint64_t candidates =
+        (bits::mask(12) << 18) | (bits::mask(6) << 8);
+    const BitMatrix m = bim::randomBroad(30, targets, candidates, rng);
+    for (Addr block = 0; block < 64; ++block)
+        EXPECT_EQ(m.apply(block) & bits::mask(6), block);
+}

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit and property tests for the GF(2) BitMatrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bim/bit_matrix.hh"
+#include "common/bitops.hh"
+#include "common/rng.hh"
+
+using namespace valley;
+
+TEST(BitMatrix, IdentityMapsAddressesToThemselves)
+{
+    const BitMatrix m = BitMatrix::identity(30);
+    EXPECT_EQ(m.apply(0), 0u);
+    EXPECT_EQ(m.apply(0x12345678u & bits::mask(30)),
+              0x12345678u & bits::mask(30));
+    EXPECT_EQ(m.apply(bits::mask(30)), bits::mask(30));
+}
+
+TEST(BitMatrix, BitsAboveMatrixSizePassThrough)
+{
+    const BitMatrix m = BitMatrix::identity(8);
+    const Addr a = (Addr{0xAB} << 8) | 0x5C;
+    EXPECT_EQ(m.apply(a), a);
+}
+
+TEST(BitMatrix, GetSetRoundTrip)
+{
+    BitMatrix m(4);
+    EXPECT_FALSE(m.get(2, 3));
+    m.set(2, 3, true);
+    EXPECT_TRUE(m.get(2, 3));
+    m.set(2, 3, false);
+    EXPECT_FALSE(m.get(2, 3));
+}
+
+TEST(BitMatrix, SetRowAndRowMask)
+{
+    BitMatrix m(6);
+    m.setRow(4, 0b101011);
+    EXPECT_EQ(m.row(4), 0b101011u);
+    EXPECT_TRUE(m.get(4, 0));
+    EXPECT_TRUE(m.get(4, 1));
+    EXPECT_FALSE(m.get(4, 2));
+    EXPECT_TRUE(m.get(4, 5));
+}
+
+TEST(BitMatrix, ApplyComputesXorOfTaps)
+{
+    // Paper Fig. 6e: out bit 1 (channel) = r2 ^ r1 ^ r0 ^ c with the
+    // example 5-bit address map [r2 r1 r0 c b] = bits [4 3 2 1 0].
+    BitMatrix m = BitMatrix::identity(5);
+    m.setRow(1, 0b11110); // c_out = r2^r1^r0^c_in
+    m.setRow(0, 0b01101); // b_out = r1^r0^b_in
+    EXPECT_TRUE(m.invertible());
+
+    const Addr in = 0b11000; // r2=1 r1=1 r0=0 c=0 b=0
+    // c_out = 1^1^0^0 = 0; b_out = 1^0^0 = 1
+    EXPECT_EQ(m.apply(in), 0b11001u);
+}
+
+TEST(BitMatrix, SingularMatrixDetected)
+{
+    BitMatrix m = BitMatrix::identity(8);
+    m.setRow(3, m.row(4)); // duplicate row -> singular
+    EXPECT_FALSE(m.invertible());
+    EXPECT_EQ(m.rank(), 7u);
+    EXPECT_FALSE(m.inverse().has_value());
+}
+
+TEST(BitMatrix, ZeroRowIsSingular)
+{
+    BitMatrix m = BitMatrix::identity(8);
+    m.setRow(0, 0);
+    EXPECT_FALSE(m.invertible());
+}
+
+TEST(BitMatrix, RankOfZeroMatrixIsZero)
+{
+    BitMatrix m(5);
+    EXPECT_EQ(m.rank(), 0u);
+}
+
+TEST(BitMatrix, InverseOfIdentityIsIdentity)
+{
+    const BitMatrix m = BitMatrix::identity(16);
+    const auto inv = m.inverse();
+    ASSERT_TRUE(inv.has_value());
+    EXPECT_EQ(*inv, m);
+}
+
+TEST(BitMatrix, InverseComposesToIdentity)
+{
+    XorShiftRng rng(1234);
+    for (int trial = 0; trial < 20; ++trial) {
+        BitMatrix m(24);
+        do {
+            for (unsigned r = 0; r < 24; ++r)
+                m.setRow(r, rng.next() & bits::mask(24));
+        } while (!m.invertible());
+
+        const auto inv = m.inverse();
+        ASSERT_TRUE(inv.has_value());
+        EXPECT_EQ(m.multiply(*inv), BitMatrix::identity(24));
+        EXPECT_EQ(inv->multiply(m), BitMatrix::identity(24));
+    }
+}
+
+TEST(BitMatrix, InverseUndoesApply)
+{
+    XorShiftRng rng(99);
+    BitMatrix m(30);
+    do {
+        for (unsigned r = 0; r < 30; ++r)
+            m.setRow(r, rng.next() & bits::mask(30));
+    } while (!m.invertible());
+    const auto inv = m.inverse();
+    ASSERT_TRUE(inv.has_value());
+
+    for (int i = 0; i < 1000; ++i) {
+        const Addr a = rng.next() & bits::mask(30);
+        EXPECT_EQ(inv->apply(m.apply(a)), a);
+    }
+}
+
+TEST(BitMatrix, MultiplyMatchesSequentialApply)
+{
+    XorShiftRng rng(5);
+    BitMatrix a(12), b(12);
+    for (unsigned r = 0; r < 12; ++r) {
+        a.setRow(r, rng.next() & bits::mask(12));
+        b.setRow(r, rng.next() & bits::mask(12));
+    }
+    const BitMatrix ab = a.multiply(b);
+    for (int i = 0; i < 500; ++i) {
+        const Addr x = rng.next() & bits::mask(12);
+        EXPECT_EQ(ab.apply(x), a.apply(b.apply(x)));
+    }
+}
+
+TEST(BitMatrix, ApplyIsLinear)
+{
+    // Property: M(x ^ y) == M(x) ^ M(y) for the low bits.
+    XorShiftRng rng(77);
+    BitMatrix m(30);
+    for (unsigned r = 0; r < 30; ++r)
+        m.setRow(r, rng.next() & bits::mask(30));
+    for (int i = 0; i < 500; ++i) {
+        const Addr x = rng.next() & bits::mask(30);
+        const Addr y = rng.next() & bits::mask(30);
+        EXPECT_EQ(m.apply(x ^ y), m.apply(x) ^ m.apply(y));
+    }
+}
+
+TEST(BitMatrix, XorGateCountAndDepth)
+{
+    BitMatrix m = BitMatrix::identity(8);
+    EXPECT_EQ(m.xorGateCount(), 0u);
+    EXPECT_EQ(m.xorTreeDepth(), 0u);
+    EXPECT_EQ(m.maxRowTaps(), 1u);
+
+    m.setRow(0, 0b00001111); // 4 taps -> 3 gates, depth 2
+    m.setRow(1, 0b00000110); // 2 taps -> 1 gate, depth 1
+    EXPECT_EQ(m.xorGateCount(), 4u);
+    EXPECT_EQ(m.maxRowTaps(), 4u);
+    EXPECT_EQ(m.xorTreeDepth(), 2u);
+}
+
+TEST(BitMatrix, RowIsIdentity)
+{
+    BitMatrix m = BitMatrix::identity(8);
+    EXPECT_TRUE(m.rowIsIdentity(3));
+    m.set(3, 5, true);
+    EXPECT_FALSE(m.rowIsIdentity(3));
+}
+
+TEST(BitMatrix, ToStringShowsGrid)
+{
+    BitMatrix m = BitMatrix::identity(3);
+    EXPECT_EQ(m.toString(), "100\n010\n001\n");
+}
+
+TEST(BitMatrix, OneToOneOverFullSmallSpace)
+{
+    // Exhaustive bijectivity check on a 10-bit space.
+    XorShiftRng rng(2024);
+    BitMatrix m(10);
+    do {
+        for (unsigned r = 0; r < 10; ++r)
+            m.setRow(r, rng.next() & bits::mask(10));
+    } while (!m.invertible());
+
+    std::vector<bool> hit(1u << 10, false);
+    for (Addr a = 0; a < (1u << 10); ++a) {
+        const Addr out = m.apply(a);
+        ASSERT_LT(out, 1u << 10);
+        ASSERT_FALSE(hit[out]) << "collision at " << a;
+        hit[out] = true;
+    }
+}

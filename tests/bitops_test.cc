@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for common/bitops.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+
+using namespace valley;
+
+TEST(Bitops, MaskBasics)
+{
+    EXPECT_EQ(bits::mask(0), 0u);
+    EXPECT_EQ(bits::mask(1), 1u);
+    EXPECT_EQ(bits::mask(6), 0x3Fu);
+    EXPECT_EQ(bits::mask(30), 0x3FFFFFFFu);
+    EXPECT_EQ(bits::mask(64), ~std::uint64_t{0});
+}
+
+TEST(Bitops, ExtractField)
+{
+    const std::uint64_t v = 0b1011'0110'1100;
+    EXPECT_EQ(bits::extract(v, 3, 0), 0b1100u);
+    EXPECT_EQ(bits::extract(v, 7, 4), 0b0110u);
+    EXPECT_EQ(bits::extract(v, 11, 8), 0b1011u);
+    EXPECT_EQ(bits::extract(v, 11, 0), v);
+}
+
+TEST(Bitops, ExtractSingleBit)
+{
+    EXPECT_EQ(bits::bit(0b100, 2), 1u);
+    EXPECT_EQ(bits::bit(0b100, 1), 0u);
+    EXPECT_EQ(bits::bit(~std::uint64_t{0}, 63), 1u);
+}
+
+TEST(Bitops, InsertField)
+{
+    std::uint64_t v = 0;
+    v = bits::insert(v, 7, 4, 0xF);
+    EXPECT_EQ(v, 0xF0u);
+    v = bits::insert(v, 7, 4, 0x3);
+    EXPECT_EQ(v, 0x30u);
+    // Inserting must not disturb neighboring bits.
+    v = bits::insert(0xFFFF, 7, 4, 0);
+    EXPECT_EQ(v, 0xFF0Fu);
+}
+
+TEST(Bitops, InsertTruncatesOversizedField)
+{
+    // Field wider than [hi:lo] is masked down.
+    EXPECT_EQ(bits::insert(0, 3, 0, 0x1F), 0xFu);
+}
+
+TEST(Bitops, SetBit)
+{
+    EXPECT_EQ(bits::setBit(0, 5, 1), 32u);
+    EXPECT_EQ(bits::setBit(32, 5, 0), 0u);
+    EXPECT_EQ(bits::setBit(32, 5, 1), 32u);
+}
+
+TEST(Bitops, Parity)
+{
+    EXPECT_EQ(bits::parity(0), 0u);
+    EXPECT_EQ(bits::parity(1), 1u);
+    EXPECT_EQ(bits::parity(0b1010101), 0u);
+    EXPECT_EQ(bits::parity(0b101010), 1u);
+}
+
+TEST(Bitops, IsPow2)
+{
+    EXPECT_FALSE(bits::isPow2(0));
+    EXPECT_TRUE(bits::isPow2(1));
+    EXPECT_TRUE(bits::isPow2(1024));
+    EXPECT_FALSE(bits::isPow2(1023));
+}
+
+TEST(Bitops, Log2Exact)
+{
+    EXPECT_EQ(bits::log2Exact(1), 0u);
+    EXPECT_EQ(bits::log2Exact(2), 1u);
+    EXPECT_EQ(bits::log2Exact(1u << 20), 20u);
+}
+
+TEST(Bitops, Log2Ceil)
+{
+    EXPECT_EQ(bits::log2Ceil(1), 0u);
+    EXPECT_EQ(bits::log2Ceil(2), 1u);
+    EXPECT_EQ(bits::log2Ceil(3), 2u);
+    EXPECT_EQ(bits::log2Ceil(4), 2u);
+    EXPECT_EQ(bits::log2Ceil(5), 3u);
+}

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the experiment harness (grid running + normalization) and
+ * an end-to-end reproduction sanity check at reduced scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "workloads/profiler.hh"
+
+using namespace valley;
+using namespace valley::harness;
+
+namespace {
+
+/** Shared small grid: one valley workload, three schemes. */
+const Grid &
+smallGrid()
+{
+    static const Grid grid = [] {
+        GridOptions o;
+        o.workloads = {"SC", "GS"};
+        o.schemes = {Scheme::BASE, Scheme::PM, Scheme::FAE};
+        o.scale = 0.5;
+        return runGrid(std::move(o));
+    }();
+    return grid;
+}
+
+} // namespace
+
+TEST(Harness, RunOneProducesLabeledResult)
+{
+    const RunResult r =
+        runOne(SimConfig::paperBaseline(), Scheme::PAE, "GS", 0.25, 1);
+    EXPECT_EQ(r.workload, "GS");
+    EXPECT_EQ(r.scheme, "PAE");
+    EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(Harness, GridShapeAndLookup)
+{
+    const Grid &g = smallGrid();
+    EXPECT_EQ(g.options().workloads.size(), 2u);
+    EXPECT_EQ(g.at("SC", Scheme::BASE).workload, "SC");
+    EXPECT_EQ(g.at("GS", Scheme::FAE).scheme, "FAE");
+    EXPECT_THROW(g.at("XXX", Scheme::BASE), std::out_of_range);
+    EXPECT_THROW(g.at("SC", Scheme::ALL), std::out_of_range);
+}
+
+TEST(Harness, BaseNormalizationsAreOne)
+{
+    const Grid &g = smallGrid();
+    for (const auto &w : g.options().workloads) {
+        EXPECT_DOUBLE_EQ(g.speedup(w, Scheme::BASE), 1.0);
+        EXPECT_DOUBLE_EQ(g.dramPowerNorm(w, Scheme::BASE), 1.0);
+        EXPECT_DOUBLE_EQ(g.systemPowerNorm(w, Scheme::BASE), 1.0);
+        EXPECT_DOUBLE_EQ(g.perfPerWattNorm(w, Scheme::BASE), 1.0);
+    }
+    EXPECT_DOUBLE_EQ(g.hmeanSpeedup(Scheme::BASE), 1.0);
+}
+
+TEST(Harness, SpeedupIsTimeRatio)
+{
+    const Grid &g = smallGrid();
+    const double expected = g.at("SC", Scheme::BASE).seconds /
+                            g.at("SC", Scheme::FAE).seconds;
+    EXPECT_DOUBLE_EQ(g.speedup("SC", Scheme::FAE), expected);
+}
+
+TEST(Harness, PerfPerWattConsistency)
+{
+    const Grid &g = smallGrid();
+    const double sp = g.speedup("SC", Scheme::FAE);
+    const double pw = g.systemPowerNorm("SC", Scheme::FAE);
+    EXPECT_NEAR(g.perfPerWattNorm("SC", Scheme::FAE), sp / pw, 1e-9);
+}
+
+TEST(Harness, MeanHelpers)
+{
+    const Grid &g = smallGrid();
+    const double m = g.mean(Scheme::BASE, [](const RunResult &r) {
+        return r.llcMissRate;
+    });
+    EXPECT_GE(m, 0.0);
+    EXPECT_LE(m, 1.0);
+    EXPECT_GT(g.meanDramPowerNorm(Scheme::FAE), 0.0);
+    EXPECT_GT(g.hmeanPerfPerWattNorm(Scheme::FAE), 0.0);
+    EXPECT_NEAR(g.meanExecTimeNorm(Scheme::BASE), 1.0, 1e-12);
+}
+
+TEST(Harness, ReproductionShapeAtReducedScale)
+{
+    // End-to-end: even at half scale, FAE must beat BASE on the
+    // valley workload SC and leave the random-access workload MUM
+    // essentially untouched (paper Figs. 12 & 20).
+    GridOptions o;
+    o.workloads = {"SC", "MUM"};
+    o.schemes = {Scheme::BASE, Scheme::FAE};
+    o.scale = 0.5;
+    const Grid g = runGrid(std::move(o));
+    EXPECT_GT(g.speedup("SC", Scheme::FAE), 1.3);
+    EXPECT_NEAR(g.speedup("MUM", Scheme::FAE), 1.0, 0.1);
+}
+
+TEST(Harness, BimSeedChangesBroadSchemeResults)
+{
+    // Fig. 19: different BIMs give (slightly) different results; the
+    // run must at least be wired through to the generator.
+    const RunResult a =
+        runOne(SimConfig::paperBaseline(), Scheme::PAE, "GS", 0.25, 1);
+    const RunResult b =
+        runOne(SimConfig::paperBaseline(), Scheme::PAE, "GS", 0.25, 2);
+    EXPECT_NE(a.cycles, b.cycles);
+}
+
+TEST(Profiler, MappedProfileRemovesValley)
+{
+    // Fig. 10: applying FAE to MT's addresses lifts the channel-bit
+    // entropy that BASE leaves in the valley. (Full scale: the MT
+    // valley needs the full TB grid to show against window w=12.)
+    const auto wl = workloads::make("MT", 1.0);
+    workloads::ProfileOptions po;
+    const EntropyProfile base = workloads::profileWorkload(*wl, po);
+
+    const auto fae = mapping::makeScheme(
+        Scheme::FAE, AddressLayout::hynixGddr5(), 1);
+    workloads::ProfileOptions pm = po;
+    pm.mapper = fae.get();
+    const EntropyProfile mapped = workloads::profileWorkload(*wl, pm);
+
+    const std::vector<unsigned> chbank = {8, 9, 10, 11, 12, 13};
+    EXPECT_GT(mapped.meanOver(chbank), base.meanOver(chbank) + 0.3);
+    EXPECT_GT(mapped.minOver(chbank), 0.8);
+}
+
+TEST(Profiler, BlockBitsAlwaysZeroEntropy)
+{
+    const auto wl = workloads::make("FWT", 0.25);
+    workloads::ProfileOptions po;
+    const EntropyProfile p = workloads::profileWorkload(*wl, po);
+    for (unsigned b = 0; b < 7; ++b)
+        EXPECT_DOUBLE_EQ(p.perBit[b], 0.0) << "bit " << b;
+}
+
+TEST(Profiler, WindowSizeMatters)
+{
+    // Larger windows can only expose more inter-TB entropy (Fig. 3).
+    const auto wl = workloads::make("MT", 0.5);
+    workloads::ProfileOptions w1;
+    w1.window = 1;
+    workloads::ProfileOptions w12;
+    w12.window = 12;
+    const auto p1 = workloads::profileWorkload(*wl, w1);
+    const auto p12 = workloads::profileWorkload(*wl, w12);
+    double gain = 0.0;
+    for (unsigned b = 6; b < 30; ++b)
+        gain += p12.perBit[b] - p1.perBit[b];
+    EXPECT_GT(gain, 0.0);
+}

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the input-queued crossbar NoC.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/crossbar.hh"
+
+using namespace valley;
+
+namespace {
+
+/** Tick until `n` deliveries arrive; returns them. */
+std::vector<NocDelivery>
+run(Crossbar &xb, Cycle start, std::size_t n, Cycle limit = 1000)
+{
+    std::vector<NocDelivery> done;
+    for (Cycle c = start; c <= limit && done.size() < n; ++c)
+        xb.tick(c, done);
+    EXPECT_EQ(done.size(), n);
+    return done;
+}
+
+} // namespace
+
+TEST(Crossbar, SingleFlitPacketDelivery)
+{
+    Crossbar xb(2, 2, 32);
+    ASSERT_TRUE(xb.inject(0, 1, 8, 42, 0));
+    const auto done = run(xb, 1, 1);
+    EXPECT_EQ(done[0].tag, 42u);
+    EXPECT_EQ(done[0].output, 1u);
+    // 1 flit: grabbed at cycle 1, tail passes at cycle 2.
+    EXPECT_EQ(done[0].delivered, 2u);
+}
+
+TEST(Crossbar, MultiFlitPacketOccupiesOutput)
+{
+    Crossbar xb(2, 2, 32);
+    // 128 B payload + 8 B header = 136 B -> 5 flits of 32 B.
+    ASSERT_TRUE(xb.inject(0, 0, 136, 1, 0));
+    const auto done = run(xb, 1, 1);
+    EXPECT_EQ(done[0].delivered, 6u); // 1 (arb) + 5 flits
+}
+
+TEST(Crossbar, ZeroByteSinglePacketStillOneFlit)
+{
+    Crossbar xb(1, 1, 32);
+    ASSERT_TRUE(xb.inject(0, 0, 0, 1, 0));
+    const auto done = run(xb, 1, 1);
+    EXPECT_GE(done[0].delivered, 2u);
+}
+
+TEST(Crossbar, OutputContentionSerializes)
+{
+    Crossbar xb(2, 2, 32);
+    // Two inputs to the same output: transfers serialize.
+    ASSERT_TRUE(xb.inject(0, 0, 128, 1, 0));
+    ASSERT_TRUE(xb.inject(1, 0, 128, 2, 0));
+    const auto done = run(xb, 1, 2);
+    EXPECT_EQ(done[1].delivered - done[0].delivered, 4u);
+}
+
+TEST(Crossbar, DistinctOutputsProceedInParallel)
+{
+    Crossbar xb(2, 2, 32);
+    ASSERT_TRUE(xb.inject(0, 0, 128, 1, 0));
+    ASSERT_TRUE(xb.inject(1, 1, 128, 2, 0));
+    const auto done = run(xb, 1, 2);
+    EXPECT_EQ(done[0].delivered, done[1].delivered);
+}
+
+TEST(Crossbar, HeadOfLineBlocking)
+{
+    Crossbar xb(2, 2, 32);
+    // Input 0: head packet to output 0 (contended), second to output 1
+    // (free) — the second must wait for the head (input-queued HoL).
+    ASSERT_TRUE(xb.inject(1, 0, 512, 1, 0)); // long hog via input 1
+    std::vector<NocDelivery> scratch;
+    xb.tick(1, scratch); // let the hog win arbitration
+    ASSERT_TRUE(xb.inject(0, 0, 32, 2, 1));
+    ASSERT_TRUE(xb.inject(0, 1, 32, 3, 1));
+    std::vector<NocDelivery> done;
+    for (Cycle c = 2; c < 100 && done.size() < 3; ++c)
+        xb.tick(c, done);
+    ASSERT_EQ(done.size(), 3u);
+    // Packet 3 (to the free output) still delivered after packet 2
+    // was unblocked.
+    Cycle t2 = 0, t3 = 0;
+    for (const auto &d : done) {
+        if (d.tag == 2)
+            t2 = d.delivered;
+        if (d.tag == 3)
+            t3 = d.delivered;
+    }
+    EXPECT_GT(t3, t2 - 2);
+}
+
+TEST(Crossbar, QueueDepthBackpressure)
+{
+    Crossbar xb(1, 1, 32, /*queue_depth=*/2);
+    EXPECT_TRUE(xb.inject(0, 0, 32, 1, 0));
+    EXPECT_TRUE(xb.inject(0, 0, 32, 2, 0));
+    EXPECT_FALSE(xb.canInject(0));
+    EXPECT_FALSE(xb.inject(0, 0, 32, 3, 0));
+    EXPECT_EQ(xb.stats().rejects, 1u);
+}
+
+TEST(Crossbar, LatencyStatistics)
+{
+    Crossbar xb(1, 1, 32);
+    ASSERT_TRUE(xb.inject(0, 0, 32, 1, 0));
+    run(xb, 1, 1);
+    EXPECT_EQ(xb.stats().packets, 1u);
+    EXPECT_EQ(xb.stats().flits, 1u);
+    EXPECT_GT(xb.stats().avgLatency(), 0.0);
+}
+
+TEST(Crossbar, FairnessUnderSymmetricLoad)
+{
+    // Round-robin start pointer must not starve any input.
+    Crossbar xb(4, 1, 32);
+    std::vector<NocDelivery> done;
+    unsigned injected[4] = {0, 0, 0, 0};
+    unsigned delivered[4] = {0, 0, 0, 0};
+    for (Cycle c = 0; c < 400; ++c) {
+        for (unsigned in = 0; in < 4; ++in)
+            if (xb.canInject(in) && injected[in] < 50) {
+                xb.inject(in, 0, 32, in, c);
+                ++injected[in];
+            }
+        xb.tick(c, done);
+    }
+    for (const auto &d : done)
+        ++delivered[d.tag];
+    for (unsigned in = 0; in < 4; ++in)
+        EXPECT_GT(delivered[in], 30u) << "input " << in;
+}
+
+TEST(Crossbar, ThroughputBoundedByChannelWidth)
+{
+    // One output of 32 B/cycle: 100 packets of 128 B take >= 400
+    // cycles of bus time.
+    Crossbar xb(1, 1, 32, 512);
+    for (unsigned i = 0; i < 100; ++i)
+        ASSERT_TRUE(xb.inject(0, 0, 128, i, 0));
+    std::vector<NocDelivery> done;
+    Cycle last = 0;
+    for (Cycle c = 1; c < 2000 && done.size() < 100; ++c) {
+        xb.tick(c, done);
+        if (!done.empty())
+            last = done.back().delivered;
+    }
+    ASSERT_EQ(done.size(), 100u);
+    EXPECT_GE(last, 400u);
+}
+
+TEST(Crossbar, PendingCount)
+{
+    Crossbar xb(2, 2, 32);
+    EXPECT_EQ(xb.pending(), 0u);
+    xb.inject(0, 0, 32, 1, 0);
+    xb.inject(1, 1, 32, 2, 0);
+    EXPECT_EQ(xb.pending(), 2u);
+    std::vector<NocDelivery> done;
+    for (Cycle c = 1; c < 10; ++c)
+        xb.tick(c, done);
+    EXPECT_EQ(xb.pending(), 0u);
+}

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the Micron-style DRAM power model and the
+ * GPUWattch-style GPU power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/dram_power.hh"
+#include "power/gpu_power.hh"
+
+using namespace valley;
+
+TEST(DramPower, BackgroundScalesWithChannels)
+{
+    DramChannelStats s;
+    const DramPowerParams p = DramPowerParams::hynixGddr5();
+    const auto four = computeDramPower(s, 4, 1.0, p);
+    const auto eight = computeDramPower(s, 8, 1.0, p);
+    EXPECT_GT(four.backgroundW, 0.0);
+    EXPECT_DOUBLE_EQ(eight.backgroundW, 2.0 * four.backgroundW);
+    EXPECT_DOUBLE_EQ(four.activateW, 0.0);
+    EXPECT_DOUBLE_EQ(four.readW, 0.0);
+}
+
+TEST(DramPower, ActivatePowerProportionalToActivations)
+{
+    DramChannelStats s;
+    const DramPowerParams p = DramPowerParams::hynixGddr5();
+    s.activations = 1'000'000;
+    const auto one = computeDramPower(s, 4, 1.0, p);
+    s.activations = 2'000'000;
+    const auto two = computeDramPower(s, 4, 1.0, p);
+    EXPECT_NEAR(two.activateW, 2.0 * one.activateW, 1e-9);
+    // 1M activations x 55 nJ over 1 s = 55 mW.
+    EXPECT_NEAR(one.activateW, 0.055, 1e-6);
+}
+
+TEST(DramPower, ShorterTimeMeansHigherPower)
+{
+    DramChannelStats s;
+    s.reads = 1'000'000;
+    const DramPowerParams p = DramPowerParams::hynixGddr5();
+    const auto slow = computeDramPower(s, 4, 2.0, p);
+    const auto fast = computeDramPower(s, 4, 1.0, p);
+    EXPECT_NEAR(fast.readW, 2.0 * slow.readW, 1e-9);
+}
+
+TEST(DramPower, BreakdownSumsToTotal)
+{
+    DramChannelStats s;
+    s.reads = 500'000;
+    s.writes = 100'000;
+    s.activations = 50'000;
+    const auto b = computeDramPower(
+        s, 4, 0.001, DramPowerParams::hynixGddr5());
+    EXPECT_NEAR(b.totalW(), b.backgroundW + b.activateW + b.readW +
+                                b.writeW,
+                1e-12);
+    EXPECT_GT(b.readW, b.writeW); // 5x the writes
+}
+
+TEST(DramPower, ZeroDurationIsSafe)
+{
+    DramChannelStats s;
+    s.reads = 100;
+    const auto b = computeDramPower(
+        s, 4, 0.0, DramPowerParams::hynixGddr5());
+    EXPECT_DOUBLE_EQ(b.totalW(), 0.0);
+}
+
+TEST(DramPower, PeakBandwidthPowerIsGddr5Scale)
+{
+    // Full 118 GB/s for one second: ~924M transactions of 128 B with
+    // a 50% row hit rate. The paper's Fig. 16 y-axis tops out around
+    // 60 W — the model must land in that regime, not at 5 W or 500 W.
+    DramChannelStats s;
+    s.reads = 740'000'000;
+    s.writes = 185'000'000;
+    s.activations = 460'000'000;
+    const auto b = computeDramPower(
+        s, 4, 1.0, DramPowerParams::hynixGddr5());
+    EXPECT_GT(b.totalW(), 30.0);
+    EXPECT_LT(b.totalW(), 80.0);
+}
+
+TEST(DramPower, Stacked3dCheaperPerBit)
+{
+    DramChannelStats s;
+    s.reads = 1'000'000;
+    const auto conv = computeDramPower(
+        s, 4, 1.0, DramPowerParams::hynixGddr5());
+    const auto tsv = computeDramPower(
+        s, 4, 1.0, DramPowerParams::stacked3d());
+    EXPECT_LT(tsv.readW, conv.readW);
+}
+
+TEST(GpuPower, StaticScalesWithSmCount)
+{
+    GpuActivityCounts a;
+    const GpuPowerParams p = GpuPowerParams::gtx480Class();
+    const auto g12 = computeGpuPower(a, 12, 1.0, p);
+    const auto g24 = computeGpuPower(a, 24, 1.0, p);
+    EXPECT_DOUBLE_EQ(g24.staticW - g12.staticW,
+                     12 * p.staticWattsPerSm);
+    EXPECT_DOUBLE_EQ(g12.dynamicW, 0.0);
+}
+
+TEST(GpuPower, DynamicProportionalToActivity)
+{
+    GpuActivityCounts a;
+    a.instructions = 1'000'000'000;
+    a.l1Accesses = 10'000'000;
+    a.llcAccesses = 5'000'000;
+    a.nocFlits = 20'000'000;
+    const GpuPowerParams p = GpuPowerParams::gtx480Class();
+    const auto one = computeGpuPower(a, 12, 1.0, p);
+    a.instructions *= 2;
+    a.l1Accesses *= 2;
+    a.llcAccesses *= 2;
+    a.nocFlits *= 2;
+    const auto two = computeGpuPower(a, 12, 1.0, p);
+    EXPECT_NEAR(two.dynamicW, 2.0 * one.dynamicW, 1e-9);
+}
+
+TEST(GpuPower, ZeroDurationKeepsStaticOnly)
+{
+    GpuActivityCounts a;
+    a.instructions = 100;
+    const auto g =
+        computeGpuPower(a, 12, 0.0, GpuPowerParams::gtx480Class());
+    EXPECT_GT(g.staticW, 0.0);
+    EXPECT_DOUBLE_EQ(g.dynamicW, 0.0);
+}
+
+TEST(SystemPower, SumOfGpuAndDram)
+{
+    GpuPowerBreakdown g;
+    g.staticW = 40.0;
+    g.dynamicW = 20.0;
+    DramPowerBreakdown d;
+    d.backgroundW = 10.0;
+    d.activateW = 5.0;
+    EXPECT_DOUBLE_EQ(systemPowerW(g, d), 75.0);
+}
+
+TEST(SystemPower, DramShareStaysBelow40Percent)
+{
+    // Footnote 3: DRAM is up to ~40% of system power. Check a busy
+    // operating point of the default models.
+    GpuActivityCounts a;
+    a.instructions = 500'000'000'000ull / 1000; // 0.5 G over 1 ms
+    a.l1Accesses = 5'000'000;
+    a.llcAccesses = 4'000'000;
+    a.nocFlits = 20'000'000;
+    const auto g = computeGpuPower(a, 12, 0.001,
+                                   GpuPowerParams::gtx480Class());
+    DramChannelStats s;
+    s.reads = 700'000;
+    s.writes = 150'000;
+    s.activations = 300'000;
+    const auto d = computeDramPower(s, 4, 0.001,
+                                    DramPowerParams::hynixGddr5());
+    const double share = d.totalW() / systemPowerW(g, d);
+    EXPECT_LT(share, 0.45);
+    EXPECT_GT(share, 0.10);
+}

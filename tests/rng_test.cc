@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the deterministic xorshift RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+
+using namespace valley;
+
+TEST(XorShiftRng, DeterministicForSeed)
+{
+    XorShiftRng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(XorShiftRng, DifferentSeedsDiverge)
+{
+    XorShiftRng a(1), b(2);
+    int differing = 0;
+    for (int i = 0; i < 16; ++i)
+        differing += a.next() != b.next();
+    EXPECT_GT(differing, 12);
+}
+
+TEST(XorShiftRng, ZeroSeedIsUsable)
+{
+    XorShiftRng r(0);
+    EXPECT_NE(r.next(), 0u);
+}
+
+TEST(XorShiftRng, BelowStaysInRange)
+{
+    XorShiftRng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(13), 13u);
+    EXPECT_EQ(r.below(0), 0u);
+    EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(XorShiftRng, RangeInclusive)
+{
+    XorShiftRng r(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.range(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u); // all four values hit
+}
+
+TEST(XorShiftRng, UniformInUnitInterval)
+{
+    XorShiftRng r(11);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(XorShiftRng, ShufflePreservesElements)
+{
+    XorShiftRng r(3);
+    std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    r.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(XorShiftRng, ChanceExtremes)
+{
+    XorShiftRng r(5);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(r.chance(0, 10));
+        EXPECT_TRUE(r.chance(10, 10));
+    }
+}

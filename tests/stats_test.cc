@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for common/stats.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+using namespace valley;
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, MeanMinMax)
+{
+    RunningStat s;
+    s.add(1.0);
+    s.add(2.0);
+    s.add(6.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+}
+
+TEST(RunningStat, WeightedSamples)
+{
+    RunningStat s;
+    s.addWeighted(2.0, 3);
+    s.addWeighted(6.0, 1);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(RunningStat, ResetClearsState)
+{
+    RunningStat s;
+    s.add(5.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(RatioStat, SafeOnZeroDenominator)
+{
+    RatioStat r;
+    EXPECT_DOUBLE_EQ(r.value(), 0.0);
+    r.num = 3;
+    r.den = 4;
+    EXPECT_DOUBLE_EQ(r.value(), 0.75);
+}
+
+TEST(Means, Arithmetic)
+{
+    EXPECT_DOUBLE_EQ(arithmeticMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(arithmeticMean({2.0, 4.0}), 3.0);
+}
+
+TEST(Means, Harmonic)
+{
+    EXPECT_DOUBLE_EQ(harmonicMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 1.0}), 1.0);
+    // HM of {1, 3} = 2 / (1 + 1/3) = 1.5
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 3.0}), 1.5);
+    // Harmonic mean is dominated by the slow element.
+    EXPECT_LT(harmonicMean({0.5, 8.0}), arithmeticMean({0.5, 8.0}));
+}
+
+TEST(Means, HarmonicRejectsNonPositive)
+{
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 0.0}), 0.0);
+}
+
+TEST(Means, Geometric)
+{
+    EXPECT_DOUBLE_EQ(geometricMean({}), 0.0);
+    EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geometricMean({5.0}), 5.0);
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Unit tests for the TextTable formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+using namespace valley;
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t;
+    t.setHeader({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "22"});
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("longer"), std::string::npos);
+    // Header separator rule present.
+    EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TextTable, CsvHasCommasAndNoRules)
+{
+    TextTable t;
+    t.setHeader({"a", "b"});
+    t.addRow({"1", "2"});
+    t.addRule();
+    t.addRow({"3", "4"});
+    EXPECT_EQ(t.toCsv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TextTable, NumFormatsPrecision)
+{
+    EXPECT_EQ(TextTable::num(1.2345, 2), "1.23");
+    EXPECT_EQ(TextTable::num(1.0, 0), "1");
+    EXPECT_EQ(TextTable::num(2.5, 3), "2.500");
+}
+
+TEST(TextTable, BigInsertsSeparators)
+{
+    EXPECT_EQ(TextTable::big(0), "0");
+    EXPECT_EQ(TextTable::big(999), "999");
+    EXPECT_EQ(TextTable::big(1000), "1,000");
+    EXPECT_EQ(TextTable::big(1234567), "1,234,567");
+}
+
+TEST(TextTable, RaggedRowsAllowed)
+{
+    TextTable t;
+    t.setHeader({"a", "b", "c"});
+    t.addRow({"only-one"});
+    EXPECT_NE(t.toString().find("only-one"), std::string::npos);
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for the memory coalescer and trace builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/trace.hh"
+
+using namespace valley;
+
+TEST(Coalesce, FullyCoalescedWarpIsOneLine)
+{
+    // 32 consecutive 4 B accesses span one 128 B line.
+    std::vector<Addr> addrs;
+    for (unsigned t = 0; t < 32; ++t)
+        addrs.push_back(0x1000 + t * 4);
+    const auto lines = coalesce(addrs, 128);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], 0x1000u);
+}
+
+TEST(Coalesce, MisalignedWarpSpansTwoLines)
+{
+    std::vector<Addr> addrs;
+    for (unsigned t = 0; t < 32; ++t)
+        addrs.push_back(0x1040 + t * 4);
+    EXPECT_EQ(coalesce(addrs, 128).size(), 2u);
+}
+
+TEST(Coalesce, StridedWarpScattersTo32Lines)
+{
+    // The Fig. 2 column-major pathology: stride = one matrix row.
+    std::vector<Addr> addrs;
+    for (unsigned t = 0; t < 32; ++t)
+        addrs.push_back(Addr{t} * 2048);
+    const auto lines = coalesce(addrs, 128);
+    ASSERT_EQ(lines.size(), 32u);
+    EXPECT_EQ(lines[1] - lines[0], 2048u);
+}
+
+TEST(Coalesce, DuplicateAddressesMerge)
+{
+    // Broadcast: all threads read the same word.
+    std::vector<Addr> addrs(32, 0x4000);
+    EXPECT_EQ(coalesce(addrs, 128).size(), 1u);
+}
+
+TEST(Coalesce, OutputSortedUnique)
+{
+    std::vector<Addr> addrs = {0x300, 0x100, 0x300, 0x200};
+    const auto lines = coalesce(addrs, 128);
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_LT(lines[0], lines[1]);
+    EXPECT_LT(lines[1], lines[2]);
+}
+
+TEST(TraceBuilder, AccessStridedGeneratesThreadAddresses)
+{
+    TraceBuilder b(2, 128, 4);
+    b.accessStrided(0, 0x10000, 2048, 32, false);
+    const TbTrace tb = b.take();
+    ASSERT_EQ(tb.warps.size(), 2u);
+    ASSERT_EQ(tb.warps[0].instrs.size(), 1u);
+    EXPECT_EQ(tb.warps[0].instrs[0].lines.size(), 32u);
+    EXPECT_FALSE(tb.warps[0].instrs[0].write);
+    EXPECT_TRUE(tb.warps[1].instrs.empty());
+}
+
+TEST(TraceBuilder, AccessLineAligns)
+{
+    TraceBuilder b(1, 128, 4);
+    b.accessLine(0, 0x1234, true);
+    const TbTrace tb = b.take();
+    ASSERT_EQ(tb.warps[0].instrs.size(), 1u);
+    EXPECT_EQ(tb.warps[0].instrs[0].lines[0], 0x1200u);
+    EXPECT_TRUE(tb.warps[0].instrs[0].write);
+}
+
+TEST(TraceBuilder, DefaultGapApplied)
+{
+    TraceBuilder b(1, 128, 7);
+    b.accessLine(0, 0, false);
+    b.accessLine(0, 128, false);
+    const TbTrace tb = b.take();
+    EXPECT_EQ(tb.warps[0].instrs[0].gap, 7u);
+    EXPECT_EQ(tb.warps[0].instrs[1].gap, 7u);
+}
+
+TEST(TraceBuilder, ComputeDelayAddsToNextAccess)
+{
+    TraceBuilder b(1, 128, 4);
+    b.computeDelay(0, 100);
+    b.accessLine(0, 0, false);
+    b.accessLine(0, 128, false);
+    const TbTrace tb = b.take();
+    EXPECT_EQ(tb.warps[0].instrs[0].gap, 104u);
+    EXPECT_EQ(tb.warps[0].instrs[1].gap, 4u); // delay consumed
+}
+
+TEST(TraceBuilder, NegativeStrideSupported)
+{
+    TraceBuilder b(1, 128, 4);
+    b.accessStrided(0, 0x10000, -2048, 4, false);
+    const TbTrace tb = b.take();
+    ASSERT_EQ(tb.warps[0].instrs.size(), 1u);
+    EXPECT_EQ(tb.warps[0].instrs[0].lines.size(), 4u);
+    EXPECT_EQ(tb.warps[0].instrs[0].lines.front(), 0x10000u - 3 * 2048);
+}
+
+TEST(TbTrace, RequestCountSumsAllLines)
+{
+    TraceBuilder b(2, 128, 4);
+    b.accessStrided(0, 0, 128, 8, false); // 8 lines
+    b.accessLine(1, 0x4000, true);        // 1 line
+    const TbTrace tb = b.take();
+    EXPECT_EQ(tb.requestCount(), 9u);
+}
+
+TEST(TraceBuilder, EmptyAccessIgnored)
+{
+    TraceBuilder b(1, 128, 4);
+    b.access(0, {}, false);
+    EXPECT_EQ(b.take().requestCount(), 0u);
+}
