@@ -14,7 +14,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/table.hh"
 #include "harness/experiment.hh"
@@ -22,6 +25,78 @@
 
 namespace valley {
 namespace bench {
+
+/**
+ * Minimal machine-readable bench output: a flat, ordered JSON object
+ * written on destruction. Used for the BENCH_*.json perf-trajectory
+ * files that later PRs compare against.
+ */
+class JsonEmitter
+{
+  public:
+    explicit JsonEmitter(std::string path) : path(std::move(path)) {}
+
+    ~JsonEmitter() { write(); }
+
+    JsonEmitter(const JsonEmitter &) = delete;
+    JsonEmitter &operator=(const JsonEmitter &) = delete;
+
+    void
+    field(const std::string &key, double v)
+    {
+        std::ostringstream out;
+        out.precision(17);
+        out << v;
+        fields.emplace_back(key, out.str());
+    }
+
+    void
+    field(const std::string &key, std::uint64_t v)
+    {
+        fields.emplace_back(key, std::to_string(v));
+    }
+
+    void
+    field(const std::string &key, unsigned v)
+    {
+        field(key, static_cast<std::uint64_t>(v));
+    }
+
+    void
+    field(const std::string &key, bool v)
+    {
+        fields.emplace_back(key, v ? "true" : "false");
+    }
+
+    void
+    field(const std::string &key, const std::string &v)
+    {
+        fields.emplace_back(key, '"' + v + '"');
+    }
+
+    /** Keep string literals out of the bool overload. */
+    void
+    field(const std::string &key, const char *v)
+    {
+        field(key, std::string(v));
+    }
+
+    void
+    write() const
+    {
+        std::ofstream out(path);
+        out << "{\n";
+        for (std::size_t i = 0; i < fields.size(); ++i)
+            out << "  \"" << fields[i].first
+                << "\": " << fields[i].second
+                << (i + 1 < fields.size() ? ",\n" : "\n");
+        out << "}\n";
+    }
+
+  private:
+    std::string path;
+    std::vector<std::pair<std::string, std::string>> fields;
+};
 
 inline double
 envScale(double fallback = 1.0)

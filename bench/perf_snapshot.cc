@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Perf trajectory snapshot: measures the two tentpole optimizations
+ * and records them as machine-readable JSON so subsequent PRs can
+ * track the numbers.
+ *
+ *  - BENCH_mapper.json: naive `BitMatrix::apply` (one parity
+ *    reduction per output bit) vs the byte-sliced
+ *    `CompiledTransform::apply` (8 table loads), addrs/sec on the
+ *    30-bit paper layout across all six schemes.
+ *  - BENCH_grid.json: serial vs parallel `harness::runGrid` on a
+ *    6-cell grid, wall-clock seconds plus a bit-identity check of
+ *    the two result sets.
+ */
+
+#include <chrono>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/bitops.hh"
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+
+using namespace valley;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct MapperTiming
+{
+    double naiveAddrsPerSec = 0.0;
+    double compiledAddrsPerSec = 0.0;
+};
+
+MapperTiming
+timeMapper(const AddressMapper &mapper, const std::vector<Addr> &addrs,
+           unsigned passes)
+{
+    MapperTiming t;
+    Addr sink = 0;
+
+    auto start = Clock::now();
+    for (unsigned p = 0; p < passes; ++p)
+        for (Addr a : addrs)
+            sink ^= mapper.matrix().apply(a);
+    const double naive = secondsSince(start);
+
+    start = Clock::now();
+    for (unsigned p = 0; p < passes; ++p)
+        for (Addr a : addrs)
+            sink ^= mapper.compiled().apply(a);
+    const double compiled = secondsSince(start);
+
+    // The two sums cancel iff both paths agree; folding the sink into
+    // the count keeps the loops from being optimized away.
+    const double n =
+        static_cast<double>(addrs.size()) * passes + (sink ? 1 : 0);
+    t.naiveAddrsPerSec = naive > 0.0 ? n / naive : 0.0;
+    t.compiledAddrsPerSec = compiled > 0.0 ? n / compiled : 0.0;
+    return t;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader("Perf snapshot",
+                       "compiled BIM fast path + parallel grid");
+
+    // ---- mapper throughput ------------------------------------------------
+    const AddressLayout layout = AddressLayout::hynixGddr5();
+    XorShiftRng rng(42);
+    std::vector<Addr> addrs(1u << 18);
+    for (Addr &a : addrs)
+        a = rng.next() & bits::mask(30);
+    const unsigned passes = 8;
+
+    bench::JsonEmitter mapper_json("BENCH_mapper.json");
+    mapper_json.field("layout", layout.name);
+    mapper_json.field("addresses",
+                      static_cast<std::uint64_t>(addrs.size()) * passes);
+
+    TextTable t;
+    t.setHeader({"scheme", "naive addr/s", "compiled addr/s",
+                 "speedup"});
+    double naive_sum = 0.0, compiled_sum = 0.0;
+    for (Scheme s : allSchemes()) {
+        const auto mapper = mapping::makeScheme(s, layout, 1);
+        const MapperTiming timing = timeMapper(*mapper, addrs, passes);
+        naive_sum += timing.naiveAddrsPerSec;
+        compiled_sum += timing.compiledAddrsPerSec;
+        const double speedup =
+            timing.naiveAddrsPerSec > 0.0
+                ? timing.compiledAddrsPerSec / timing.naiveAddrsPerSec
+                : 0.0;
+        t.addRow({schemeName(s),
+                  TextTable::num(timing.naiveAddrsPerSec),
+                  TextTable::num(timing.compiledAddrsPerSec),
+                  TextTable::num(speedup)});
+        mapper_json.field(schemeName(s) + "_naive_addrs_per_sec",
+                          timing.naiveAddrsPerSec);
+        mapper_json.field(schemeName(s) + "_compiled_addrs_per_sec",
+                          timing.compiledAddrsPerSec);
+    }
+    const double mean_speedup =
+        naive_sum > 0.0 ? compiled_sum / naive_sum : 0.0;
+    mapper_json.field("mean_naive_addrs_per_sec",
+                      naive_sum / allSchemes().size());
+    mapper_json.field("mean_compiled_addrs_per_sec",
+                      compiled_sum / allSchemes().size());
+    mapper_json.field("compiled_over_naive_speedup", mean_speedup);
+    std::printf("%s", t.toString().c_str());
+    std::printf("\nmean compiled/naive speedup: %.2fx\n\n",
+                mean_speedup);
+
+    // ---- grid wall-clock -------------------------------------------------
+    harness::GridOptions opts;
+    opts.workloads = {"SC", "GS"};
+    opts.schemes = {Scheme::BASE, Scheme::PM, Scheme::FAE};
+    opts.scale = bench::envScale(0.25);
+    opts.useCache = false;
+
+    harness::GridOptions serial = opts;
+    serial.threads = 1;
+    auto start = Clock::now();
+    const harness::Grid gs = harness::runGrid(std::move(serial));
+    const double serial_sec = secondsSince(start);
+
+    harness::GridOptions parallel = opts;
+    parallel.threads = 0; // one worker per hardware thread
+    start = Clock::now();
+    const harness::Grid gp = harness::runGrid(std::move(parallel));
+    const double parallel_sec = secondsSince(start);
+
+    bool identical = true;
+    for (const auto &w : opts.workloads)
+        for (Scheme s : opts.schemes)
+            identical = identical && gs.at(w, s) == gp.at(w, s);
+
+    const unsigned threads = ThreadPool::defaultThreads();
+    bench::JsonEmitter grid_json("BENCH_grid.json");
+    grid_json.field("cells",
+                    static_cast<std::uint64_t>(opts.workloads.size() *
+                                               opts.schemes.size()));
+    grid_json.field("scale", opts.scale);
+    grid_json.field("hardware_threads", threads);
+    grid_json.field("serial_seconds", serial_sec);
+    grid_json.field("parallel_seconds", parallel_sec);
+    grid_json.field("parallel_speedup",
+                    parallel_sec > 0.0 ? serial_sec / parallel_sec
+                                       : 0.0);
+    grid_json.field("results_identical", identical);
+
+    std::printf("grid: %zu cells, serial %.2fs, parallel %.2fs "
+                "(%u threads), identical=%s\n",
+                opts.workloads.size() * opts.schemes.size(), serial_sec,
+                parallel_sec, threads, identical ? "yes" : "NO");
+    return identical ? 0 : 1;
+}

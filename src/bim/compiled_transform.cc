@@ -1,0 +1,45 @@
+#include "bim/compiled_transform.hh"
+
+#include <bit>
+
+namespace valley {
+
+CompiledTransform::CompiledTransform(const BitMatrix &m)
+{
+    const unsigned n = m.size();
+
+    // Column vectors of the matrix: bit r of col[c] is M[r][c]. Bits
+    // at or above the matrix size pass through, i.e. behave as
+    // identity columns.
+    std::array<std::uint64_t, 64> col{};
+    for (unsigned c = 0; c < 64; ++c) {
+        if (c >= n) {
+            col[c] = std::uint64_t{1} << c;
+            continue;
+        }
+        std::uint64_t v = 0;
+        for (unsigned r = 0; r < n; ++r)
+            v |= static_cast<std::uint64_t>(m.get(r, c)) << r;
+        col[c] = v;
+    }
+
+    identity = true;
+    for (unsigned c = 0; c < 64; ++c)
+        identity = identity && col[c] == (std::uint64_t{1} << c);
+
+    // slice[b][v] = XOR of the columns selected by byte value v at
+    // byte position b. Built incrementally: entry v adds its lowest
+    // set bit's column to the already-computed entry v with that bit
+    // cleared.
+    for (unsigned b = 0; b < 8; ++b) {
+        slice[b][0] = 0;
+        for (unsigned v = 1; v < 256; ++v) {
+            const unsigned low = v & (~v + 1);
+            const unsigned c =
+                b * 8 + static_cast<unsigned>(std::countr_zero(low));
+            slice[b][v] = slice[b][v ^ low] ^ col[c];
+        }
+    }
+}
+
+} // namespace valley

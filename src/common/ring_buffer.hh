@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Flat FIFO ring buffer for the simulator's hot queues.
+ *
+ * `std::deque` allocates its map-of-chunks per queue and touches the
+ * heap as elements churn; the GpuSystem cycle loop pushes and pops
+ * LSU/slice/writeback/reply entries every cycle, so those queues want
+ * contiguous storage that is allocated once and reused. This is a
+ * growable power-of-two circular buffer with deque-compatible
+ * front/push_back/pop_front naming for the operations the simulator
+ * uses.
+ */
+
+#ifndef VALLEY_COMMON_RING_BUFFER_HH
+#define VALLEY_COMMON_RING_BUFFER_HH
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace valley {
+
+template <typename T>
+class RingBuffer
+{
+  public:
+    RingBuffer() = default;
+
+    /** Preallocate space for at least `capacity` elements. */
+    explicit RingBuffer(std::size_t capacity) { reserve(capacity); }
+
+    bool empty() const { return count == 0; }
+    std::size_t size() const { return count; }
+    std::size_t capacity() const { return store.size(); }
+
+    /** Grow the backing store to hold at least `capacity` elements. */
+    void
+    reserve(std::size_t capacity)
+    {
+        if (capacity > store.size())
+            regrow(roundUpPow2(capacity));
+    }
+
+    T &
+    front()
+    {
+        assert(count > 0);
+        return store[head];
+    }
+
+    const T &
+    front() const
+    {
+        assert(count > 0);
+        return store[head];
+    }
+
+    void
+    push_back(const T &v)
+    {
+        emplace_back(v);
+    }
+
+    void
+    push_back(T &&v)
+    {
+        emplace_back(std::move(v));
+    }
+
+    template <typename... Args>
+    void
+    emplace_back(Args &&...args)
+    {
+        // Construct before any regrow so an argument aliasing an
+        // element of this buffer (e.g. push_back(front())) stays
+        // valid, as it would with std::deque.
+        T v(std::forward<Args>(args)...);
+        if (count == store.size())
+            regrow(store.empty() ? kInitialCapacity : store.size() * 2);
+        store[(head + count) & (store.size() - 1)] = std::move(v);
+        ++count;
+    }
+
+    void
+    pop_front()
+    {
+        assert(count > 0);
+        head = (head + 1) & (store.size() - 1);
+        --count;
+    }
+
+    /** Drop all elements; keeps the backing storage. */
+    void
+    clear()
+    {
+        head = 0;
+        count = 0;
+    }
+
+  private:
+    static constexpr std::size_t kInitialCapacity = 16;
+
+    static std::size_t
+    roundUpPow2(std::size_t v)
+    {
+        std::size_t p = kInitialCapacity;
+        while (p < v)
+            p *= 2;
+        return p;
+    }
+
+    void
+    regrow(std::size_t capacity)
+    {
+        std::vector<T> next(capacity);
+        for (std::size_t i = 0; i < count; ++i)
+            next[i] = std::move(store[(head + i) & (store.size() - 1)]);
+        store = std::move(next);
+        head = 0;
+    }
+
+    std::vector<T> store;
+    std::size_t head = 0;
+    std::size_t count = 0;
+};
+
+} // namespace valley
+
+#endif // VALLEY_COMMON_RING_BUFFER_HH

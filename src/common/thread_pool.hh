@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Minimal fixed-size thread pool for embarrassingly parallel
+ * experiment grids.
+ *
+ * Each (workload, scheme) simulation is self-contained — one
+ * GpuSystem, one mapper, deterministic RNG seeding — so the harness
+ * only needs fork/join task execution with exceptions propagated to
+ * the caller. Tasks write their results into caller-owned slots, so
+ * result placement is deterministic regardless of scheduling order.
+ */
+
+#ifndef VALLEY_COMMON_THREAD_POOL_HH
+#define VALLEY_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace valley {
+
+class ThreadPool
+{
+  public:
+    /** Spawn `threads` workers (0 = one per hardware thread). */
+    explicit ThreadPool(unsigned threads = 0)
+    {
+        if (threads == 0)
+            threads = defaultThreads();
+        workers.reserve(threads);
+        for (unsigned i = 0; i < threads; ++i)
+            workers.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            stopping = true;
+        }
+        wake.notify_all();
+        for (std::thread &t : workers)
+            t.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned
+    threadCount() const
+    {
+        return static_cast<unsigned>(workers.size());
+    }
+
+    /** Queue one task; run() executes everything queued so far. */
+    void
+    submit(std::function<void()> task)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        queue.push_back(std::move(task));
+    }
+
+    /**
+     * Execute all queued tasks and block until every one finished.
+     * The first exception thrown by any task is rethrown here (the
+     * remaining tasks still run to completion).
+     */
+    void
+    run()
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        pending = queue.size();
+        if (pending == 0)
+            return;
+        wake.notify_all();
+        done.wait(lock, [this] { return pending == 0 && queue.empty(); });
+        if (firstError) {
+            std::exception_ptr e = firstError;
+            firstError = nullptr;
+            std::rethrow_exception(e);
+        }
+    }
+
+    /** Hardware concurrency with a sane fallback. */
+    static unsigned
+    defaultThreads()
+    {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw == 0 ? 1 : hw;
+    }
+
+  private:
+    void
+    workerLoop()
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        for (;;) {
+            wake.wait(lock, [this] {
+                return stopping || (!queue.empty() && pending > 0);
+            });
+            if (stopping)
+                return;
+            std::function<void()> task = std::move(queue.front());
+            queue.erase(queue.begin());
+            lock.unlock();
+            std::exception_ptr err;
+            try {
+                task();
+            } catch (...) {
+                err = std::current_exception();
+            }
+            lock.lock();
+            if (err && !firstError)
+                firstError = err;
+            if (--pending == 0 && queue.empty())
+                done.notify_all();
+        }
+    }
+
+    std::vector<std::thread> workers;
+    std::vector<std::function<void()>> queue;
+    std::mutex mutex;
+    std::condition_variable wake;
+    std::condition_variable done;
+    std::size_t pending = 0;
+    bool stopping = false;
+    std::exception_ptr firstError;
+};
+
+} // namespace valley
+
+#endif // VALLEY_COMMON_THREAD_POOL_HH

@@ -59,6 +59,8 @@ struct DramChannelStats
     std::uint64_t busBusyCycles = 0;
     std::uint64_t latencySum = 0;  ///< enqueue-to-data DRAM cycles (reads)
 
+    bool operator==(const DramChannelStats &) const = default;
+
     /** Column accesses served from an already-open row (Fig. 15). */
     double
     rowHitRate() const

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 #include <stdexcept>
 
 namespace valley {
@@ -14,17 +15,39 @@ constexpr std::uint64_t kNoWaiter = 0;
 } // namespace
 
 GpuSystem::GpuSystem(const SimConfig &cfg_, const AddressMapper &mapper_)
-    : cfg(cfg_), mapper(mapper_)
+    : cfg(cfg_), mapper(mapper_), decoder(cfg.layout)
 {
     if (mapper.layout().addrBits != cfg.layout.addrBits)
         throw std::invalid_argument(
             "GpuSystem: mapper layout does not match config layout");
 }
 
+void
+GpuSystem::pushEvent(const Event &ev)
+{
+    events.push_back(ev);
+    std::push_heap(events.begin(), events.end(), std::greater<>{});
+}
+
 unsigned
 GpuSystem::warpGid(unsigned sm, unsigned warp) const
 {
     return sm * cfg.maxWarpsPerSm + warp;
+}
+
+void
+GpuSystem::premapTrace(TbTrace &trace) const
+{
+    // The BIM address mapper sits right after the coalescer; applying
+    // it once to the freshly generated (per-run, per-TB) trace copy
+    // removes the transform from every later issue/retry of the line.
+    const CompiledTransform &bim = mapper.compiled();
+    if (bim.isIdentity())
+        return;
+    for (WarpTrace &warp : trace.warps)
+        for (MemInstr &instr : warp.instrs)
+            for (Addr &line : instr.lines)
+                line = bim.apply(line);
 }
 
 unsigned
@@ -54,6 +77,7 @@ GpuSystem::dispatchTbs(const Kernel &k)
                     continue;
                 TbSlot &tbs = sm.tbSlots[slot];
                 tbs.trace = k.trace(tbNext);
+                premapTrace(tbs.trace);
                 tbs.active = true;
                 tbs.warpsLeft = 0;
                 ++sm.activeTbs;
@@ -136,9 +160,8 @@ GpuSystem::issueStage(unsigned sm_idx)
         warp.waiting = true;
         sm.lastIssued[sched] = pick;
         for (Addr line : instr.lines) {
-            // The BIM address mapper sits right after the coalescer.
-            sm.lsu.push_back(LineReq{mapper.map(line),
-                                     warpGid(sm_idx, pick),
+            // Lines were remapped once at TB dispatch (premapTrace).
+            sm.lsu.push_back(LineReq{line, warpGid(sm_idx, pick),
                                      instr.write});
         }
         requests += instr.lines.size();
@@ -154,7 +177,7 @@ bool
 GpuSystem::tryIssueLine(unsigned sm_idx, const LineReq &req)
 {
     SetAssocCache &l1 = l1s[sm_idx];
-    const DramCoord coord = cfg.layout.decode(req.line);
+    const DramCoord coord = decoder.decode(req.line);
     const unsigned slice = cfg.sliceOf(coord);
 
     if (req.write) {
@@ -167,8 +190,8 @@ GpuSystem::tryIssueLine(unsigned sm_idx, const LineReq &req)
                            (std::uint64_t{sm_idx} << 48) | req.line,
                        nocCycle);
         // The store completes for the warp once buffered.
-        events.push(Event{cycle + 1, Event::Type::WarpLineDone,
-                          req.warpGid, 0, 0});
+        pushEvent(Event{cycle + 1, Event::Type::WarpLineDone,
+                        req.warpGid, 0, 0});
         return true;
     }
 
@@ -185,9 +208,8 @@ GpuSystem::tryIssueLine(unsigned sm_idx, const LineReq &req)
         l1.access(req.line, false, req.warpGid + 1);
     switch (r.kind) {
       case CacheAccessResult::Kind::Hit:
-        events.push(Event{cycle + cfg.l1HitLatency,
-                          Event::Type::WarpLineDone, req.warpGid, 0,
-                          0});
+        pushEvent(Event{cycle + cfg.l1HitLatency,
+                        Event::Type::WarpLineDone, req.warpGid, 0, 0});
         return true;
       case CacheAccessResult::Kind::MergedMiss:
         return true; // woken by the fill
@@ -286,7 +308,7 @@ GpuSystem::sliceTick(unsigned slice)
             break;
         const SliceReq req = sliceQueue[slice].front();
         SetAssocCache &cache = llc[slice];
-        const DramCoord coord = cfg.layout.decode(req.line);
+        const DramCoord coord = decoder.decode(req.line);
 
         const bool present = cache.contains(req.line);
         const bool pending = cache.mshrPending(req.line);
@@ -304,9 +326,9 @@ GpuSystem::sliceTick(unsigned slice)
         switch (r.kind) {
           case CacheAccessResult::Kind::Hit:
             if (!req.write)
-                events.push(Event{cycle + cfg.llcLatency,
-                                  Event::Type::ReplyReady, slice,
-                                  req.sm, req.line});
+                pushEvent(Event{cycle + cfg.llcLatency,
+                                Event::Type::ReplyReady, slice,
+                                req.sm, req.line});
             break;
           case CacheAccessResult::Kind::MergedMiss:
             break;
@@ -348,7 +370,7 @@ GpuSystem::handleDramCompletions()
         const auto waiters = llc[slice].fill(line, eviction);
         if (eviction.dirtyEviction) {
             DramRequest wb;
-            wb.coord = cfg.layout.decode(eviction.victimLine);
+            wb.coord = decoder.decode(eviction.victimLine);
             wb.write = true;
             wb.tag = 0;
             if (!dram->enqueue(wb, dramCycle))
@@ -359,8 +381,8 @@ GpuSystem::handleDramCompletions()
                 continue;
             const unsigned sm = static_cast<unsigned>(w - 1);
             ++llcReadReplies;
-            events.push(Event{cycle + 4, Event::Type::ReplyReady,
-                              slice, sm, line});
+            pushEvent(Event{cycle + 4, Event::Type::ReplyReady,
+                            slice, sm, line});
         }
         noteProgress();
     }
@@ -418,7 +440,8 @@ GpuSystem::run(const Workload &workload)
     dram = std::make_unique<DramSystem>(cfg.layout.numChannels(),
                                         cfg.layout.numBanksPerChannel(),
                                         cfg.dram, cfg.mcQueueDepth);
-    events = {};
+    events.clear();
+    events.reserve(4096);
     dramDone.clear();
     cycle = nocCycle = dramCycle = 0;
     dramAcc = 0;
@@ -465,9 +488,11 @@ GpuSystem::run(const Workload &workload)
             }
 
             // Event retirement (L1 hits, store acks, LLC replies).
-            while (!events.empty() && events.top().at <= cycle) {
-                const Event ev = events.top();
-                events.pop();
+            while (!events.empty() && events.front().at <= cycle) {
+                const Event ev = events.front();
+                std::pop_heap(events.begin(), events.end(),
+                              std::greater<>{});
+                events.pop_back();
                 if (ev.type == Event::Type::WarpLineDone) {
                     lineDone(ev.a);
                 } else {

@@ -24,11 +24,10 @@
 #ifndef VALLEY_GPU_GPU_SYSTEM_HH
 #define VALLEY_GPU_GPU_SYSTEM_HH
 
-#include <deque>
-#include <queue>
 #include <vector>
 
 #include "cache/set_assoc_cache.hh"
+#include "common/ring_buffer.hh"
 #include "dram/dram_system.hh"
 #include "gpu/run_result.hh"
 #include "gpu/sim_config.hh"
@@ -81,7 +80,7 @@ class GpuSystem
     {
         std::vector<TbSlot> tbSlots;
         std::vector<WarpRt> warps;
-        std::deque<LineReq> lsu;
+        RingBuffer<LineReq> lsu;
         std::vector<unsigned> lastIssued; ///< per scheduler
         unsigned activeTbs = 0;
     };
@@ -113,7 +112,11 @@ class GpuSystem
     };
 
     // ---- helpers -------------------------------------------------------
+    /** Min-heap push into the reserved event storage. */
+    void pushEvent(const Event &ev);
     unsigned warpGid(unsigned sm, unsigned warp) const;
+    /** Remap a freshly generated TB trace once, at dispatch. */
+    void premapTrace(TbTrace &trace) const;
     unsigned tbSlotsFor(const Kernel &k) const;
     void dispatchTbs(const Kernel &kernel);
     void issueStage(unsigned sm_idx);
@@ -130,19 +133,19 @@ class GpuSystem
     // ---- configuration -----------------------------------------------
     const SimConfig cfg;
     const AddressMapper &mapper;
+    const CompiledDecoder decoder; ///< precompiled cfg.layout.decode
 
     // ---- per-run state -------------------------------------------------
     std::vector<Sm> sms;
     std::vector<SetAssocCache> l1s;
     std::vector<SetAssocCache> llc;
-    std::vector<std::deque<SliceReq>> sliceQueue;
-    std::vector<std::deque<DramRequest>> pendingWritebacks;
-    std::vector<std::deque<std::pair<unsigned, Addr>>> stalledReplies;
+    std::vector<RingBuffer<SliceReq>> sliceQueue;
+    std::vector<RingBuffer<DramRequest>> pendingWritebacks;
+    std::vector<RingBuffer<std::pair<unsigned, Addr>>> stalledReplies;
     std::unique_ptr<Crossbar> reqNoc;
     std::unique_ptr<Crossbar> replyNoc;
     std::unique_ptr<DramSystem> dram;
-    std::priority_queue<Event, std::vector<Event>, std::greater<>>
-        events;
+    std::vector<Event> events; ///< min-heap (std::push_heap/pop_heap)
     std::vector<DramCompletion> dramDone;
 
     const Kernel *kernel = nullptr;

@@ -51,6 +51,9 @@ struct RunResult
     GpuPowerBreakdown gpuPower;
     double systemPowerW = 0.0;
 
+    /** Exact (bit-level) equality — parallel/serial grid checks. */
+    bool operator==(const RunResult &) const = default;
+
     // --- Derived -------------------------------------------------------------
     double
     apki() const

@@ -1,9 +1,11 @@
 #include "harness/experiment.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <stdexcept>
 
 #include "common/stats.hh"
+#include "common/thread_pool.hh"
 #include "harness/result_cache.hh"
 
 namespace valley {
@@ -162,24 +164,43 @@ Grid::hmeanPerfPerWattNorm(Scheme s) const
 Grid
 runGrid(GridOptions opts)
 {
-    std::vector<std::vector<RunResult>> results;
-    results.reserve(opts.workloads.size());
-    for (const auto &w : opts.workloads) {
-        std::vector<RunResult> row;
-        row.reserve(opts.schemes.size());
-        for (Scheme s : opts.schemes) {
-            if (opts.progress)
-                std::fprintf(stderr, "[grid] %-6s %-5s %s...\n",
-                             w.c_str(), schemeName(s).c_str(),
-                             opts.config.name.c_str());
-            row.push_back(
-                opts.useCache
-                    ? runOneCached(opts.config, s, w, opts.scale,
-                                   opts.bimSeed)
-                    : runOne(opts.config, s, w, opts.scale,
-                             opts.bimSeed));
-        }
-        results.push_back(std::move(row));
+    // Every cell writes only its own preallocated slot, so the result
+    // placement is deterministic under any scheduling order.
+    std::vector<std::vector<RunResult>> results(
+        opts.workloads.size(),
+        std::vector<RunResult>(opts.schemes.size()));
+
+    const auto runCell = [&](std::size_t wi, std::size_t si) {
+        const std::string &w = opts.workloads[wi];
+        const Scheme s = opts.schemes[si];
+        if (opts.progress)
+            std::fprintf(stderr, "[grid] %-6s %-5s %s...\n", w.c_str(),
+                         schemeName(s).c_str(),
+                         opts.config.name.c_str());
+        results[wi][si] =
+            opts.useCache
+                ? runOneCached(opts.config, s, w, opts.scale,
+                               opts.bimSeed)
+                : runOne(opts.config, s, w, opts.scale, opts.bimSeed);
+    };
+
+    const std::size_t cells =
+        opts.workloads.size() * opts.schemes.size();
+    const unsigned threads = opts.threads == 0
+                                 ? ThreadPool::defaultThreads()
+                                 : opts.threads;
+    if (threads <= 1 || cells <= 1) {
+        for (std::size_t wi = 0; wi < opts.workloads.size(); ++wi)
+            for (std::size_t si = 0; si < opts.schemes.size(); ++si)
+                runCell(wi, si);
+    } else {
+        ThreadPool pool(
+            static_cast<unsigned>(std::min<std::size_t>(threads,
+                                                        cells)));
+        for (std::size_t wi = 0; wi < opts.workloads.size(); ++wi)
+            for (std::size_t si = 0; si < opts.schemes.size(); ++si)
+                pool.submit([&runCell, wi, si] { runCell(wi, si); });
+        pool.run();
     }
     return Grid(std::move(opts), std::move(results));
 }

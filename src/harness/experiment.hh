@@ -31,6 +31,14 @@ struct GridOptions
     double scale = 1.0;                  ///< workload problem scale
     bool progress = false;               ///< log runs to stderr
     bool useCache = false;               ///< memoize via result_cache
+
+    /**
+     * Worker threads for the grid: 1 = serial, 0 = one per hardware
+     * thread. Every (workload, scheme) cell is an independent
+     * simulation with its own GpuSystem and deterministically seeded
+     * RNGs, so the parallel grid is bit-identical to the serial one.
+     */
+    unsigned threads = 0;
 };
 
 /** Simulate one (config, scheme, workload) combination. */

@@ -1,5 +1,6 @@
 #include "harness/result_cache.hh"
 
+#include <array>
 #include <cstdlib>
 #include <fstream>
 #include <map>
@@ -14,9 +15,29 @@ const char *kResultCacheFile = "valley_results_cache.csv";
 
 namespace {
 
-std::mutex cache_mutex;
-std::map<std::string, RunResult> cache;
+/**
+ * The in-memory cache is sharded by key hash so parallel grid cells
+ * do not serialize on one global lock; only the on-disk append and
+ * the initial file load keep their own (cold-path) mutexes.
+ */
+constexpr std::size_t kCacheShards = 16;
+
+struct CacheShard
+{
+    std::mutex mutex;
+    std::map<std::string, RunResult> entries;
+};
+
+std::array<CacheShard, kCacheShards> shards;
+std::mutex load_mutex;
+std::mutex file_mutex;
 bool loaded = false;
+
+CacheShard &
+shardFor(const std::string &key)
+{
+    return shards[std::hash<std::string>{}(key) % kCacheShards];
+}
 
 std::string
 serialize(const RunResult &r)
@@ -64,6 +85,7 @@ deserialize(const std::string &line)
 void
 loadOnce()
 {
+    std::lock_guard<std::mutex> lock(load_mutex);
     if (loaded)
         return;
     loaded = true;
@@ -76,8 +98,11 @@ loadOnce()
         const std::string key = line.substr(0, sep);
         if (key.rfind(kResultCacheVersion, 0) != 0)
             continue; // stale schema version
-        if (auto r = deserialize(line.substr(sep + 1)))
-            cache[key] = std::move(*r);
+        if (auto r = deserialize(line.substr(sep + 1))) {
+            CacheShard &shard = shardFor(key);
+            std::lock_guard<std::mutex> shard_lock(shard.mutex);
+            shard.entries[key] = std::move(*r);
+        }
     }
 }
 
@@ -105,10 +130,11 @@ cacheLookup(const std::string &key)
 {
     if (!cacheEnabled())
         return std::nullopt;
-    std::lock_guard<std::mutex> lock(cache_mutex);
     loadOnce();
-    const auto it = cache.find(key);
-    if (it == cache.end())
+    CacheShard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.entries.find(key);
+    if (it == shard.entries.end())
         return std::nullopt;
     return it->second;
 }
@@ -118,9 +144,13 @@ cacheStore(const std::string &key, const RunResult &r)
 {
     if (!cacheEnabled())
         return;
-    std::lock_guard<std::mutex> lock(cache_mutex);
     loadOnce();
-    cache[key] = r;
+    {
+        CacheShard &shard = shardFor(key);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.entries[key] = r;
+    }
+    std::lock_guard<std::mutex> lock(file_mutex);
     std::ofstream out(kResultCacheFile, std::ios::app);
     out << key << '|' << serialize(r) << '\n';
 }

@@ -131,6 +131,63 @@ class AddressLayout
     static void appendField(std::vector<unsigned> &v, const BitField &f);
 };
 
+/**
+ * Precompiled decode plan for one AddressLayout.
+ *
+ * `AddressLayout::decode` re-derives each field's shift and mask per
+ * call; this flattens the geometry into six shift/mask pairs once so
+ * the per-address work is straight-line shifts, ANDs and ORs — the
+ * form the simulator uses on its per-request hot path. Width-0 fields
+ * compile to a zero mask, so the vault-less conventional layout needs
+ * no branch.
+ */
+class CompiledDecoder
+{
+  public:
+    CompiledDecoder() = default;
+
+    explicit CompiledDecoder(const AddressLayout &l)
+        : chShift(l.channel.lo), chMask(fieldMask(l.channel)),
+          vShift(l.vault.lo), vMask(fieldMask(l.vault)),
+          vWidth(l.vault.width), bankShift(l.bank.lo),
+          bankMask(fieldMask(l.bank)), rowShift(l.row.lo),
+          rowMask(fieldMask(l.row)), colLoShift(l.colLo.lo),
+          colLoMask(fieldMask(l.colLo)), colLoWidth(l.colLo.width),
+          colHiShift(l.colHi.lo), colHiMask(fieldMask(l.colHi))
+    {
+    }
+
+    /** Exact equivalent of `AddressLayout::decode`. */
+    DramCoord
+    decode(Addr a) const
+    {
+        DramCoord c;
+        c.channel = (static_cast<unsigned>(a >> chShift) & chMask)
+                        << vWidth |
+                    (static_cast<unsigned>(a >> vShift) & vMask);
+        c.bank = static_cast<unsigned>(a >> bankShift) & bankMask;
+        c.row = static_cast<unsigned>(a >> rowShift) & rowMask;
+        c.column = (static_cast<unsigned>(a >> colHiShift) & colHiMask)
+                       << colLoWidth |
+                   (static_cast<unsigned>(a >> colLoShift) & colLoMask);
+        return c;
+    }
+
+  private:
+    static unsigned
+    fieldMask(const BitField &f)
+    {
+        return f.width == 0 ? 0u : (1u << f.width) - 1u;
+    }
+
+    unsigned chShift = 0, chMask = 0;
+    unsigned vShift = 0, vMask = 0, vWidth = 0;
+    unsigned bankShift = 0, bankMask = 0;
+    unsigned rowShift = 0, rowMask = 0;
+    unsigned colLoShift = 0, colLoMask = 0, colLoWidth = 0;
+    unsigned colHiShift = 0, colHiMask = 0;
+};
+
 } // namespace valley
 
 #endif // VALLEY_MAPPING_ADDRESS_LAYOUT_HH

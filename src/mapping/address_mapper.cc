@@ -37,7 +37,7 @@ schemeName(Scheme s)
 AddressMapper::AddressMapper(std::string name, AddressLayout layout,
                              BitMatrix bim)
     : name_(std::move(name)), layout_(std::move(layout)),
-      matrix_(std::move(bim))
+      matrix_(std::move(bim)), compiled_(matrix_), decoder_(layout_)
 {
     if (matrix_.size() != layout_.addrBits)
         throw std::invalid_argument("mapper: BIM size != address bits");

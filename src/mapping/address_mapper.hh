@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bim/bit_matrix.hh"
+#include "bim/compiled_transform.hh"
 #include "mapping/address_layout.hh"
 
 namespace valley {
@@ -41,6 +42,11 @@ std::string schemeName(Scheme s);
  * An address mapper: a named BIM bound to an address layout. Maps
  * physical addresses right after memory coalescing (Section IV) and
  * can decode the mapped address into DRAM coordinates.
+ *
+ * The BIM is frozen into a byte-sliced CompiledTransform at
+ * construction and the layout's decode plan is precompiled, so both
+ * map() and coordOf() are straight-line table/shift code on the
+ * simulator's per-request hot path.
  */
 class AddressMapper
 {
@@ -48,18 +54,19 @@ class AddressMapper
     AddressMapper(std::string name, AddressLayout layout, BitMatrix bim);
 
     /** Transform an input address into the remapped address. */
-    Addr map(Addr a) const { return matrix_.apply(a); }
+    Addr map(Addr a) const { return compiled_.apply(a); }
 
     /** Decode DRAM coordinates of the *mapped* address. */
     DramCoord
     coordOf(Addr a) const
     {
-        return layout_.decode(map(a));
+        return decoder_.decode(map(a));
     }
 
     const std::string &name() const { return name_; }
     const AddressLayout &layout() const { return layout_; }
     const BitMatrix &matrix() const { return matrix_; }
+    const CompiledTransform &compiled() const { return compiled_; }
 
     /** Extra pipeline latency of the remap logic, in SM cycles. */
     unsigned
@@ -73,6 +80,8 @@ class AddressMapper
     std::string name_;
     AddressLayout layout_;
     BitMatrix matrix_;
+    CompiledTransform compiled_;
+    CompiledDecoder decoder_;
 };
 
 namespace mapping {

@@ -63,6 +63,8 @@ struct DramPowerBreakdown
     double readW = 0.0;
     double writeW = 0.0;
 
+    bool operator==(const DramPowerBreakdown &) const = default;
+
     double
     totalW() const
     {

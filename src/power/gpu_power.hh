@@ -57,6 +57,8 @@ struct GpuPowerBreakdown
     double staticW = 0.0;
     double dynamicW = 0.0;
 
+    bool operator==(const GpuPowerBreakdown &) const = default;
+
     double
     totalW() const
     {

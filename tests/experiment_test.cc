@@ -104,6 +104,30 @@ TEST(Harness, ReproductionShapeAtReducedScale)
     EXPECT_NEAR(g.speedup("MUM", Scheme::FAE), 1.0, 0.1);
 }
 
+TEST(Harness, ParallelGridBitIdenticalToSerial)
+{
+    // Each cell is an independent, deterministically seeded
+    // simulation, so the threaded grid must reproduce the serial one
+    // exactly — including every derived power/parallelism metric.
+    GridOptions o;
+    o.workloads = {"SC", "GS"};
+    o.schemes = {Scheme::BASE, Scheme::FAE};
+    o.scale = 0.25;
+
+    GridOptions serial = o;
+    serial.threads = 1;
+    const Grid gs = runGrid(std::move(serial));
+
+    GridOptions parallel = o;
+    parallel.threads = 4;
+    const Grid gp = runGrid(std::move(parallel));
+
+    for (const auto &w : o.workloads)
+        for (Scheme s : o.schemes)
+            EXPECT_TRUE(gs.at(w, s) == gp.at(w, s))
+                << w << "/" << schemeName(s);
+}
+
 TEST(Harness, BimSeedChangesBroadSchemeResults)
 {
     // Fig. 19: different BIMs give (slightly) different results; the

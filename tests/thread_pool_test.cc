@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the fork/join ThreadPool used by the parallel experiment
+ * grid.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+using namespace valley;
+
+TEST(ThreadPool, RunsEverySubmittedTaskOnce)
+{
+    ThreadPool pool(4);
+    std::vector<int> hits(257, 0);
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        pool.submit([&hits, i] { ++hits[i]; });
+    pool.run();
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i], 1) << "task " << i;
+}
+
+TEST(ThreadPool, DeterministicResultPlacement)
+{
+    // Tasks write only their own slot, so the result layout is
+    // independent of scheduling — the property the grid relies on.
+    ThreadPool pool(8);
+    std::vector<std::uint64_t> out(100, 0);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        pool.submit([&out, i] { out[i] = i * i; });
+    pool.run();
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, ReusableAcrossRounds)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&count] { ++count; });
+        pool.run();
+        EXPECT_EQ(count.load(), (round + 1) * 10);
+    }
+}
+
+TEST(ThreadPool, EmptyRunReturnsImmediately)
+{
+    ThreadPool pool(3);
+    pool.run(); // must not deadlock
+    SUCCEED();
+}
+
+TEST(ThreadPool, PropagatesTaskException)
+{
+    ThreadPool pool(2);
+    std::atomic<int> completed{0};
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&completed, i] {
+            if (i == 3)
+                throw std::runtime_error("cell failed");
+            ++completed;
+        });
+    EXPECT_THROW(pool.run(), std::runtime_error);
+    // The remaining tasks still ran to completion.
+    EXPECT_EQ(completed.load(), 7);
+}
+
+TEST(ThreadPool, DefaultThreadsIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+    ThreadPool pool;
+    EXPECT_GE(pool.threadCount(), 1u);
+}
