@@ -3,9 +3,14 @@
  * Fig. 10 — MT's entropy distribution under the six address mapping
  * schemes: PAE and FAE must remove the valley in the channel/bank
  * bits; ALL removes all valleys.
+ *
+ * Profiles are memoized in the profile cache, keyed by scheme name
+ * plus BIM seed (the per-scheme remap is fused into the bit-sliced
+ * accumulation on a miss).
  */
 
 #include "bench_util.hh"
+#include "harness/profile_cache.hh"
 
 using namespace valley;
 
@@ -15,7 +20,8 @@ main()
     bench::printHeader(
         "Figure 10",
         "MT entropy distribution per address mapping scheme");
-    const auto wl = workloads::make("MT", bench::envScale());
+    const double scale = bench::envScale();
+    const auto wl = workloads::make("MT", scale);
     const AddressLayout layout = AddressLayout::hynixGddr5();
 
     TextTable summary;
@@ -23,11 +29,16 @@ main()
                        "mean H* bank bits (10-13)",
                        "min H* ch/bank"});
 
+    const std::uint64_t bim_seed = 1;
     for (Scheme s : allSchemes()) {
-        const auto mapper = mapping::makeScheme(s, layout, 1);
+        const auto mapper = mapping::makeScheme(s, layout, bim_seed);
         workloads::ProfileOptions po;
         po.mapper = s == Scheme::BASE ? nullptr : mapper.get();
-        const EntropyProfile p = workloads::profileWorkload(*wl, po);
+        const EntropyProfile p = harness::profileWorkloadCached(
+            *wl, po, scale,
+            s == Scheme::BASE
+                ? ""
+                : schemeName(s) + "-" + std::to_string(bim_seed));
 
         std::printf("--- %s\n%s", schemeName(s).c_str(),
                     p.chart(29, 6).c_str());

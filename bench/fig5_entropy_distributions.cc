@@ -3,9 +3,14 @@
  * Fig. 5 — window-entropy distribution of all 16 benchmarks plus the
  * two individually-plotted kernels (SRAD2-K1, DWT2D-K1). Bits used
  * for channel/bank selection (8-13 under the Hynix map) are marked.
+ *
+ * Workload profiles go through the on-disk profile cache (first run
+ * computes with the parallel bit-sliced profiler, later runs reuse;
+ * VALLEY_CACHE=0 disables).
  */
 
 #include "bench_util.hh"
+#include "harness/profile_cache.hh"
 
 using namespace valley;
 
@@ -45,7 +50,7 @@ main()
         printProfile(a + (wl->info().entropyValley
                               ? "  [entropy valley]"
                               : "  [non-valley]"),
-                     workloads::profileWorkload(*wl, po));
+                     harness::profileWorkloadCached(*wl, po, scale));
     }
 
     // The two kernel-level profiles of Fig. 5h / 5j.

@@ -12,6 +12,7 @@
 #include "common/bitops.hh"
 #include "common/rng.hh"
 #include "dram/dram_system.hh"
+#include "entropy/sliced_bvr.hh"
 #include "entropy/window_entropy.hh"
 #include "harness/experiment.hh"
 #include "workloads/profiler.hh"
@@ -123,6 +124,7 @@ BENCHMARK(BM_BimInverse);
 static void
 BM_WindowEntropy(benchmark::State &state)
 {
+    // The incremental sliding-multiset implementation.
     XorShiftRng rng(11);
     std::vector<double> bvr(static_cast<std::size_t>(state.range(0)));
     for (double &v : bvr)
@@ -134,8 +136,23 @@ BM_WindowEntropy(benchmark::State &state)
 BENCHMARK(BM_WindowEntropy)->Arg(256)->Arg(4096);
 
 static void
+BM_WindowEntropyReference(benchmark::State &state)
+{
+    // The per-window assign+sort oracle it replaced.
+    XorShiftRng rng(11);
+    std::vector<double> bvr(static_cast<std::size_t>(state.range(0)));
+    for (double &v : bvr)
+        v = rng.uniform();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(windowEntropyReference(bvr, 12));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WindowEntropyReference)->Arg(256)->Arg(4096);
+
+static void
 BM_BvrAccumulate(benchmark::State &state)
 {
+    // Scalar baseline: one shift/mask/add per bit per address.
     XorShiftRng rng(13);
     std::vector<Addr> addrs(1024);
     for (Addr &a : addrs)
@@ -151,16 +168,38 @@ BM_BvrAccumulate(benchmark::State &state)
 BENCHMARK(BM_BvrAccumulate);
 
 static void
+BM_SlicedBvrAccumulate(benchmark::State &state)
+{
+    // Bit-sliced path: transpose 64 addresses, popcount per bit.
+    XorShiftRng rng(13);
+    std::vector<Addr> addrs(1024);
+    for (Addr &a : addrs)
+        a = rng.next() & bits::mask(30);
+    for (auto _ : state) {
+        SlicedBvrAccumulator acc(30);
+        acc.addMany(addrs);
+        benchmark::DoNotOptimize(acc.bvrs());
+    }
+    state.SetItemsProcessed(state.iterations() * addrs.size());
+}
+BENCHMARK(BM_SlicedBvrAccumulate);
+
+static void
 BM_ProfileWorkload(benchmark::State &state)
 {
+    // threads: 1 = serial, 0 = one worker per hardware thread.
     const auto wl = workloads::make("GS", 0.25);
     for (auto _ : state) {
         workloads::ProfileOptions po;
+        po.threads = static_cast<unsigned>(state.range(0));
         benchmark::DoNotOptimize(
             workloads::profileWorkload(*wl, po).perBit[8]);
     }
 }
-BENCHMARK(BM_ProfileWorkload)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ProfileWorkload)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
 
 // --- DRAM -------------------------------------------------------------------
 

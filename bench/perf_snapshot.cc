@@ -1,16 +1,25 @@
 /**
  * @file
- * Perf trajectory snapshot: measures the two tentpole optimizations
- * and records them as machine-readable JSON so subsequent PRs can
- * track the numbers.
+ * Perf trajectory snapshot: measures the tentpole optimizations and
+ * records them as machine-readable JSON so subsequent PRs can track
+ * the numbers.
  *
  *  - BENCH_mapper.json: naive `BitMatrix::apply` (one parity
  *    reduction per output bit) vs the byte-sliced
  *    `CompiledTransform::apply` (8 table loads), addrs/sec on the
  *    30-bit paper layout across all six schemes.
+ *  - BENCH_profiler.json: scalar `BvrAccumulator` vs the bit-sliced
+ *    `SlicedBvrAccumulator` (addrs/sec, with a bit-identity check),
+ *    the reference vs incremental `windowEntropy`, and serial vs
+ *    parallel `profileWorkload` wall-clock with a profile
+ *    bit-identity check.
  *  - BENCH_grid.json: serial vs parallel `harness::runGrid` on a
  *    6-cell grid, wall-clock seconds plus a bit-identity check of
  *    the two result sets.
+ *
+ * Single-core hosts force the parallel legs onto 2 worker threads so
+ * the recorded speedups exercise the thread-pool path instead of
+ * degenerating into a second serial run.
  */
 
 #include <chrono>
@@ -20,6 +29,7 @@
 #include "common/bitops.hh"
 #include "common/rng.hh"
 #include "common/thread_pool.hh"
+#include "entropy/sliced_bvr.hh"
 
 using namespace valley;
 
@@ -72,8 +82,18 @@ timeMapper(const AddressMapper &mapper, const std::vector<Addr> &addrs,
 int
 main()
 {
-    bench::printHeader("Perf snapshot",
-                       "compiled BIM fast path + parallel grid");
+    bench::printHeader(
+        "Perf snapshot",
+        "compiled BIM + bit-sliced profiler + parallel grid");
+
+    const unsigned hw_threads = ThreadPool::defaultThreads();
+    // On a 1-core host a "parallel" run at the default thread count
+    // is just the serial path again; 2 workers keep the measurement
+    // meaningful as a thread-pool exercise.
+    const unsigned parallel_threads = hw_threads == 1 ? 2 : 0;
+    std::printf("hardware threads: %u (parallel runs use %s)\n\n",
+                hw_threads,
+                parallel_threads == 0 ? "all of them" : "2, forced");
 
     // ---- mapper throughput ------------------------------------------------
     const AddressLayout layout = AddressLayout::hynixGddr5();
@@ -121,6 +141,139 @@ main()
     std::printf("\nmean compiled/naive speedup: %.2fx\n\n",
                 mean_speedup);
 
+    // ---- entropy profiler -------------------------------------------------
+    bool profiler_ok = true;
+    {
+        bench::JsonEmitter prof_json("BENCH_profiler.json");
+        prof_json.field("hardware_threads", hw_threads);
+
+        // Scalar vs bit-sliced BVR accumulation on the same stream.
+        XorShiftRng prng(1234);
+        std::vector<Addr> paddrs(1u << 18);
+        for (Addr &a : paddrs)
+            a = prng.next() & bits::mask(30);
+        const unsigned ppasses = 16;
+        const double n_accum =
+            static_cast<double>(paddrs.size()) * ppasses;
+
+        BvrAccumulator scalar_acc(30);
+        auto start = Clock::now();
+        for (unsigned p = 0; p < ppasses; ++p)
+            for (Addr a : paddrs)
+                scalar_acc.add(a);
+        const double scalar_sec = secondsSince(start);
+
+        SlicedBvrAccumulator sliced_acc(30);
+        start = Clock::now();
+        for (unsigned p = 0; p < ppasses; ++p)
+            sliced_acc.addMany(paddrs);
+        const double sliced_sec = secondsSince(start);
+
+        const bool bvrs_identical =
+            scalar_acc.bvrs() == sliced_acc.bvrs() &&
+            scalar_acc.requestCount() == sliced_acc.requestCount();
+        profiler_ok = profiler_ok && bvrs_identical;
+        const double accum_speedup =
+            sliced_sec > 0.0 ? scalar_sec / sliced_sec : 0.0;
+        prof_json.field("accum_addresses",
+                        static_cast<std::uint64_t>(n_accum));
+        prof_json.field("scalar_addrs_per_sec",
+                        scalar_sec > 0.0 ? n_accum / scalar_sec : 0.0);
+        prof_json.field("sliced_addrs_per_sec",
+                        sliced_sec > 0.0 ? n_accum / sliced_sec : 0.0);
+        prof_json.field("sliced_over_scalar_speedup", accum_speedup);
+        prof_json.field("bvrs_identical", bvrs_identical);
+        std::printf("bvr accumulation: scalar %.0f addr/s, sliced "
+                    "%.0f addr/s (%.1fx), identical=%s\n",
+                    n_accum / scalar_sec, n_accum / sliced_sec,
+                    accum_speedup, bvrs_identical ? "yes" : "NO");
+
+        // Reference (per-window sort) vs incremental window entropy.
+        XorShiftRng wrng(99);
+        std::vector<double> series(4096);
+        for (double &v : series)
+            v = static_cast<double>(wrng.below(8)) / 7.0;
+        const unsigned wpasses = 32;
+        double sink = 0.0;
+        start = Clock::now();
+        for (unsigned p = 0; p < wpasses; ++p)
+            sink += windowEntropyReference(series, 12);
+        const double ref_sec = secondsSince(start);
+        start = Clock::now();
+        for (unsigned p = 0; p < wpasses; ++p)
+            sink -= windowEntropy(series, 12);
+        const double incr_sec = secondsSince(start);
+        const double tbs_per_pass = static_cast<double>(series.size());
+        prof_json.field("window_entropy_reference_tbs_per_sec",
+                        ref_sec > 0.0
+                            ? tbs_per_pass * wpasses / ref_sec
+                            : 0.0);
+        prof_json.field("window_entropy_incremental_tbs_per_sec",
+                        incr_sec > 0.0
+                            ? tbs_per_pass * wpasses / incr_sec
+                            : 0.0);
+        prof_json.field("window_entropy_speedup",
+                        incr_sec > 0.0 ? ref_sec / incr_sec : 0.0);
+        std::printf("window entropy: reference %.3fs, incremental "
+                    "%.3fs (%.1fx, drift %.2g)\n",
+                    ref_sec, incr_sec,
+                    incr_sec > 0.0 ? ref_sec / incr_sec : 0.0,
+                    sink / wpasses);
+
+        // Serial vs parallel workload profiling, bit-identity checked.
+        const double pscale = bench::envScale(1.0);
+        const std::vector<std::string> pworkloads = {"MT", "GS",
+                                                     "DWT2D"};
+        workloads::ProfileOptions serial_po;
+        serial_po.threads = 1;
+        workloads::ProfileOptions parallel_po;
+        parallel_po.threads = parallel_threads;
+
+        double serial_sec = 0.0, par_sec = 0.0;
+        bool profiles_identical = true;
+        for (const std::string &w : pworkloads) {
+            const auto wl = workloads::make(w, pscale);
+            // Best of 3 per leg: on short runs scheduler noise would
+            // otherwise dominate the recorded ratio.
+            EntropyProfile ps, pp;
+            double best_s = 0.0, best_p = 0.0;
+            for (int rep = 0; rep < 3; ++rep) {
+                start = Clock::now();
+                ps = workloads::profileWorkload(*wl, serial_po);
+                const double s = secondsSince(start);
+                start = Clock::now();
+                pp = workloads::profileWorkload(*wl, parallel_po);
+                const double p = secondsSince(start);
+                if (rep == 0 || s < best_s)
+                    best_s = s;
+                if (rep == 0 || p < best_p)
+                    best_p = p;
+            }
+            serial_sec += best_s;
+            par_sec += best_p;
+            profiles_identical = profiles_identical &&
+                                 ps.perBit == pp.perBit &&
+                                 ps.weight == pp.weight;
+        }
+        profiler_ok = profiler_ok && profiles_identical;
+        const unsigned par_used = parallel_po.threads == 0
+                                      ? hw_threads
+                                      : parallel_po.threads;
+        prof_json.field("profile_workloads", "MT+GS+DWT2D");
+        prof_json.field("profile_scale", pscale);
+        prof_json.field("profile_serial_seconds", serial_sec);
+        prof_json.field("profile_parallel_seconds", par_sec);
+        prof_json.field("profile_parallel_threads", par_used);
+        prof_json.field("profile_parallel_speedup",
+                        par_sec > 0.0 ? serial_sec / par_sec : 0.0);
+        prof_json.field("profiles_identical", profiles_identical);
+        std::printf("profileWorkload: serial %.2fs, parallel %.2fs "
+                    "(%u threads, %.2fx), identical=%s\n\n",
+                    serial_sec, par_sec, par_used,
+                    par_sec > 0.0 ? serial_sec / par_sec : 0.0,
+                    profiles_identical ? "yes" : "NO");
+    }
+
     // ---- grid wall-clock -------------------------------------------------
     harness::GridOptions opts;
     opts.workloads = {"SC", "GS"};
@@ -135,7 +288,7 @@ main()
     const double serial_sec = secondsSince(start);
 
     harness::GridOptions parallel = opts;
-    parallel.threads = 0; // one worker per hardware thread
+    parallel.threads = parallel_threads; // 0 = one per hw thread
     start = Clock::now();
     const harness::Grid gp = harness::runGrid(std::move(parallel));
     const double parallel_sec = secondsSince(start);
@@ -145,13 +298,15 @@ main()
         for (Scheme s : opts.schemes)
             identical = identical && gs.at(w, s) == gp.at(w, s);
 
-    const unsigned threads = ThreadPool::defaultThreads();
+    const unsigned grid_threads =
+        parallel_threads == 0 ? hw_threads : parallel_threads;
     bench::JsonEmitter grid_json("BENCH_grid.json");
     grid_json.field("cells",
                     static_cast<std::uint64_t>(opts.workloads.size() *
                                                opts.schemes.size()));
     grid_json.field("scale", opts.scale);
-    grid_json.field("hardware_threads", threads);
+    grid_json.field("hardware_threads", hw_threads);
+    grid_json.field("parallel_threads", grid_threads);
     grid_json.field("serial_seconds", serial_sec);
     grid_json.field("parallel_seconds", parallel_sec);
     grid_json.field("parallel_speedup",
@@ -160,8 +315,9 @@ main()
     grid_json.field("results_identical", identical);
 
     std::printf("grid: %zu cells, serial %.2fs, parallel %.2fs "
-                "(%u threads), identical=%s\n",
+                "(%u threads on %u-core host), identical=%s\n",
                 opts.workloads.size() * opts.schemes.size(), serial_sec,
-                parallel_sec, threads, identical ? "yes" : "NO");
-    return identical ? 0 : 1;
+                parallel_sec, grid_threads, hw_threads,
+                identical ? "yes" : "NO");
+    return identical && profiler_ok ? 0 : 1;
 }

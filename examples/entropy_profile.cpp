@@ -5,7 +5,12 @@
  * channel/bank bits — the analysis a memory-system architect would
  * run before choosing an address mapping.
  *
- *   ./build/examples/entropy_profile [workload] [window] [scale]
+ *   ./build/examples/entropy_profile [workload] [window] [scale] [threads]
+ *
+ * Profiling runs on the bit-sliced parallel pipeline: per-TB BVRs
+ * accumulate 64 addresses at a time via transpose+popcount and
+ * kernels fan out over a thread pool (threads: 0 = one per hardware
+ * thread, 1 = serial; the result is bit-identical either way).
  */
 
 #include <cstdio>
@@ -21,12 +26,14 @@ main(int argc, char **argv)
     const std::string workload = argc > 1 ? argv[1] : "LU";
     const unsigned window = argc > 2 ? std::atoi(argv[2]) : 12;
     const double scale = argc > 3 ? std::atof(argv[3]) : 1.0;
+    const unsigned threads = argc > 4 ? std::atoi(argv[4]) : 0;
 
     const auto wl = workloads::make(workload, scale);
     const AddressLayout layout = AddressLayout::hynixGddr5();
 
     workloads::ProfileOptions po;
     po.window = window;
+    po.threads = threads;
     const EntropyProfile p = workloads::profileWorkload(*wl, po);
 
     std::printf("%s — window-based entropy, w = %u TBs\n\n",

@@ -1,0 +1,63 @@
+#include "entropy/sliced_bvr.hh"
+
+#include <bit>
+
+#include "common/bitops.hh"
+
+namespace valley {
+
+SlicedBvrAccumulator::SlicedBvrAccumulator(unsigned nbits_)
+    : nbits(nbits_), cap(nbits_ <= 32 ? 2 * kBlock : kBlock),
+      ones(nbits_, 0)
+{
+}
+
+void
+SlicedBvrAccumulator::flushFrom(const Addr *p)
+{
+    std::uint64_t lanes[kBlock];
+    if (cap == 2 * kBlock) {
+        // Packed mode (nbits <= 32): word i carries address i in its
+        // low half and address i+64 in its high half, so one 64x64
+        // transpose slices 128 addresses. Afterwards lane b holds bit
+        // b of addresses 0..63 and lane b+32 bit b of 64..127. Junk
+        // above bit `nbits` lands in lanes that are never read.
+        for (unsigned i = 0; i < kBlock; ++i)
+            lanes[i] = (p[i] & 0xFFFFFFFFull) | (p[i + kBlock] << 32);
+        bits::transpose64(lanes);
+        for (unsigned b = 0; b < nbits; ++b)
+            ones[b] +=
+                static_cast<unsigned>(std::popcount(lanes[b])) +
+                static_cast<unsigned>(std::popcount(lanes[b + 32]));
+    } else {
+        // lanes[i] holds address i; after the transpose lanes[b]
+        // holds bit b of all 64 addresses, one address per position.
+        for (unsigned i = 0; i < kBlock; ++i)
+            lanes[i] = p[i];
+        bits::transpose64(lanes);
+        for (unsigned b = 0; b < nbits; ++b)
+            ones[b] += static_cast<unsigned>(std::popcount(lanes[b]));
+    }
+    flushed += cap;
+}
+
+std::vector<double>
+SlicedBvrAccumulator::bvrs() const
+{
+    std::vector<double> out(nbits, 0.0);
+    const std::uint64_t total = requestCount();
+    if (total == 0)
+        return out;
+    // Scalar tail: fold the partially filled buffer into a copy of
+    // the per-bit counts without disturbing the accumulator.
+    std::vector<std::uint64_t> counts(ones);
+    for (unsigned i = 0; i < fill; ++i)
+        for (unsigned b = 0; b < nbits; ++b)
+            counts[b] += (buf[i] >> b) & 1;
+    for (unsigned b = 0; b < nbits; ++b)
+        out[b] = static_cast<double>(counts[b]) /
+                 static_cast<double>(total);
+    return out;
+}
+
+} // namespace valley

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Bit-sliced BVR accumulation (ROADMAP "batch/vectorize the entropy
+ * profiler").
+ *
+ * `BvrAccumulator::add` walks every tracked bit of every address —
+ * ~30 shift/mask/add triples per request, the dominant cost of the
+ * Section III profiling pipeline now that the mapper itself is
+ * byte-sliced. `SlicedBvrAccumulator` instead buffers a block of
+ * addresses, transposes it into one 64-bit lane per address bit
+ * (`bits::transpose64`) and accumulates each lane with a single
+ * `popcount` — one operation per bit per 64 addresses. When the
+ * tracked width fits in 32 bits (the paper's space is 30), two
+ * addresses pack into each transpose word, so one 64x64 transpose
+ * covers 128 addresses. Addresses left in a partially filled buffer
+ * are folded in by a scalar tail path, so `bvrs()` is exact at any
+ * stream length.
+ *
+ * The per-bit one-counts are exact integers either way and `bvrs()`
+ * performs the same division, so the output is bit-identical to the
+ * scalar accumulator (asserted in `tests/sliced_bvr_test.cc`).
+ */
+
+#ifndef VALLEY_ENTROPY_SLICED_BVR_HH
+#define VALLEY_ENTROPY_SLICED_BVR_HH
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace valley {
+
+class SlicedBvrAccumulator
+{
+  public:
+    explicit SlicedBvrAccumulator(unsigned nbits);
+
+    /** Account one request address. */
+    void
+    add(Addr a)
+    {
+        buf[fill] = a;
+        if (++fill == cap)
+            flush();
+    }
+
+    /** Account a batch of request addresses. */
+    void
+    addMany(std::span<const Addr> addrs)
+    {
+        const Addr *p = addrs.data();
+        std::size_t n = addrs.size();
+        // Full blocks of an empty buffer slice straight from the
+        // source span, skipping the buffer copy entirely.
+        while (fill == 0 && n >= cap) {
+            flushFrom(p);
+            p += cap;
+            n -= cap;
+        }
+        while (n > 0) {
+            const std::size_t take =
+                std::min<std::size_t>(cap - fill, n);
+            std::copy_n(p, take, buf.begin() + fill);
+            fill += static_cast<unsigned>(take);
+            p += take;
+            n -= take;
+            if (fill == cap)
+                flush();
+        }
+    }
+
+    /**
+     * Account a batch of addresses through a remap, fusing the
+     * transform into the buffer fill so profiling under a BIM never
+     * pays a per-address call on top of the accumulation. `fn` must
+     * be a pure Addr -> Addr function (e.g. a captured
+     * `CompiledTransform::apply`).
+     */
+    template <typename MapFn>
+    void
+    addManyMapped(std::span<const Addr> addrs, MapFn &&fn)
+    {
+        const Addr *p = addrs.data();
+        std::size_t n = addrs.size();
+        while (n > 0) {
+            const std::size_t take =
+                std::min<std::size_t>(cap - fill, n);
+            for (std::size_t i = 0; i < take; ++i)
+                buf[fill + i] = fn(p[i]);
+            fill += static_cast<unsigned>(take);
+            p += take;
+            n -= take;
+            if (fill == cap)
+                flush();
+        }
+    }
+
+    /** Number of accumulated requests (flushed or buffered). */
+    std::uint64_t
+    requestCount() const
+    {
+        return flushed + fill;
+    }
+
+    /** Bit width tracked. */
+    unsigned numBits() const { return nbits; }
+
+    /** Per-bit BVR in [0,1]; all zeros when no requests were added. */
+    std::vector<double> bvrs() const;
+
+  private:
+    /** Transpose words per flush; buffer holds 2x when packed. */
+    static constexpr unsigned kBlock = 64;
+
+    /** Transpose the full buffer and popcount it into `ones`. */
+    void
+    flush()
+    {
+        flushFrom(buf.data());
+        fill = 0;
+    }
+
+    /** Slice one full block (`cap` addresses) starting at `p`. */
+    void flushFrom(const Addr *p);
+
+    unsigned nbits;
+    unsigned cap;      ///< buffer capacity: 128 packed, 64 otherwise
+    unsigned fill = 0;
+    std::uint64_t flushed = 0;
+    std::vector<std::uint64_t> ones;
+    std::array<std::uint64_t, 2 * kBlock> buf;
+};
+
+} // namespace valley
+
+#endif // VALLEY_ENTROPY_SLICED_BVR_HH

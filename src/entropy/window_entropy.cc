@@ -4,25 +4,31 @@
 #include <cassert>
 #include <cmath>
 #include <sstream>
+#include <unordered_map>
 
 namespace valley {
 
 double
 shannonEntropyBaseV(const std::vector<double> &probs)
 {
+    // One pass: count the support and accumulate -sum p ln p
+    // together; the log-base division happens once at the end, which
+    // also guards log(v) == 0 for single-outcome distributions here
+    // instead of at every call site.
     std::size_t v = 0;
-    for (double p : probs)
-        if (p > 0.0)
+    double h_num = 0.0;
+    for (double p : probs) {
+        if (p > 0.0) {
             ++v;
+            h_num -= p * std::log(p);
+        }
+    }
     if (v <= 1)
         return 0.0;
-    const double log_v = std::log(static_cast<double>(v));
-    double h = 0.0;
-    for (double p : probs)
-        if (p > 0.0)
-            h -= p * (std::log(p) / log_v);
     // Clamp numeric noise.
-    return std::min(1.0, std::max(0.0, h));
+    return std::min(1.0,
+                    std::max(0.0,
+                             h_num / std::log(static_cast<double>(v))));
 }
 
 BvrAccumulator::BvrAccumulator(unsigned nbits_)
@@ -90,7 +96,8 @@ oneWindow(const std::uint32_t *begin, std::size_t w,
 } // namespace
 
 double
-windowEntropy(const std::vector<double> &bvr_per_tb, unsigned window)
+windowEntropyReference(const std::vector<double> &bvr_per_tb,
+                       unsigned window)
 {
     const std::size_t n = bvr_per_tb.size();
     if (n == 0 || window == 0)
@@ -106,6 +113,73 @@ windowEntropy(const std::vector<double> &bvr_per_tb, unsigned window)
     double sum = 0.0;
     for (std::size_t i = 0; i < windows; ++i)
         sum += oneWindow(q.data() + i, w, scratch);
+    return sum / static_cast<double>(windows);
+}
+
+double
+windowEntropy(const std::vector<double> &bvr_per_tb, unsigned window)
+{
+    const std::size_t n = bvr_per_tb.size();
+    if (n == 0 || window == 0)
+        return 0.0;
+
+    std::vector<std::uint32_t> q(n);
+    for (std::size_t i = 0; i < n; ++i)
+        q[i] = quantize(bvr_per_tb[i]);
+
+    const std::size_t w = std::min<std::size_t>(window, n);
+    const std::size_t windows = n - w + 1;
+
+    // Incremental sliding multiset: a count map over the quantized
+    // BVRs in the current window plus a running h_num = -sum p ln p
+    // over its distinct values, both maintained under the add/evict
+    // of one TB per slide — O(n) amortized instead of the reference's
+    // per-window assign+sort. Since every probability is c/w for a
+    // fixed w, the per-count terms are memoized so an add/evict pair
+    // that restores a count contributes exactly +-the same double and
+    // the running sum drifts by at most a few ulp per slide (the
+    // oracle comparison lives in tests/window_entropy_test.cc).
+    std::vector<double> term(w + 1, 0.0);
+    for (std::size_t c = 1; c < w; ++c) {
+        const double p =
+            static_cast<double>(c) / static_cast<double>(w);
+        term[c] = -p * std::log(p);
+    }
+
+    std::unordered_map<std::uint32_t, std::uint32_t> count;
+    count.reserve(2 * w);
+    double h_num = 0.0;
+    const auto addTb = [&](std::uint32_t v) {
+        std::uint32_t &c = count[v];
+        h_num -= term[c];
+        h_num += term[++c];
+    };
+    const auto evictTb = [&](std::uint32_t v) {
+        const auto it = count.find(v);
+        h_num -= term[it->second];
+        if (--it->second == 0)
+            count.erase(it);
+        else
+            h_num += term[it->second];
+    };
+
+    for (std::size_t i = 0; i < w; ++i)
+        addTb(q[i]);
+    double sum = 0.0;
+    for (std::size_t i = 0;; ++i) {
+        const std::size_t v = count.size();
+        if (v > 1) {
+            const double h =
+                h_num / std::log(static_cast<double>(v));
+            sum += std::min(1.0, std::max(0.0, h));
+        }
+        if (i + 1 >= windows)
+            break;
+        // Evict before adding so no count ever exceeds w (term[] has
+        // exactly w+1 entries).
+        evictTb(q[i]);
+        addTb(q[i + w]);
+    }
     return sum / static_cast<double>(windows);
 }
 
@@ -199,8 +273,9 @@ EntropyProfile::chart(unsigned hi, unsigned lo) const
         out << '-';
     out << "\n     ";
     for (unsigned b = hi + 1; b-- > lo;)
-        out << (b % 10 == 0 ? ('0' + static_cast<char>(b / 10 % 10))
-                            : ' ');
+        out << (b % 10 == 0
+                    ? static_cast<char>('0' + b / 10 % 10)
+                    : ' ');
     out << "\n     ";
     for (unsigned b = hi + 1; b-- > lo;)
         out << static_cast<char>('0' + b % 10);

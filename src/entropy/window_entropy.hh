@@ -72,9 +72,22 @@ class BvrAccumulator
  * ratios computed from different request counts compare equal. If
  * fewer than `window` TBs exist, a single window covering all TBs is
  * used.
+ *
+ * Implemented as an incremental sliding-window multiset (count map
+ * plus running entropy numerator maintained under add/evict), O(n)
+ * amortized; `windowEntropyReference` is the straightforward
+ * per-window sort kept as the oracle for tests and benches.
  */
 double windowEntropy(const std::vector<double> &bvr_per_tb,
                      unsigned window);
+
+/**
+ * Reference implementation of `windowEntropy` (per-window
+ * assign+sort, O(n * w log w)). Semantically identical; kept as the
+ * test oracle and as the scalar baseline in `BENCH_profiler.json`.
+ */
+double windowEntropyReference(const std::vector<double> &bvr_per_tb,
+                              unsigned window);
 
 /**
  * Request-weighted window bit entropy.

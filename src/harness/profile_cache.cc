@@ -1,0 +1,154 @@
+#include "harness/profile_cache.hh"
+
+#include <array>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "harness/result_cache.hh"
+
+namespace valley {
+namespace harness {
+
+const char *kProfileCacheVersion = "p1";
+const char *kProfileCacheFile = "valley_profiles_cache.csv";
+
+namespace {
+
+/** Same sharding rationale as result_cache: parallel benches must
+ * not serialize profile lookups on one global lock. */
+constexpr std::size_t kShards = 16;
+
+struct Shard
+{
+    std::mutex mutex;
+    std::map<std::string, EntropyProfile> entries;
+};
+
+std::array<Shard, kShards> shards;
+std::mutex load_mutex;
+std::mutex file_mutex;
+bool loaded = false;
+
+Shard &
+shardFor(const std::string &key)
+{
+    return shards[std::hash<std::string>{}(key) % kShards];
+}
+
+std::string
+serialize(const EntropyProfile &p)
+{
+    std::ostringstream out;
+    out.precision(17);
+    out << p.weight << ' ' << p.perBit.size();
+    for (double b : p.perBit)
+        out << ' ' << b;
+    return out.str();
+}
+
+std::optional<EntropyProfile>
+deserialize(const std::string &line)
+{
+    std::istringstream in(line);
+    EntropyProfile p;
+    std::size_t nbits = 0;
+    in >> p.weight >> nbits;
+    if (!in || nbits > 64)
+        return std::nullopt;
+    p.perBit.resize(nbits);
+    for (double &b : p.perBit)
+        in >> b;
+    if (!in)
+        return std::nullopt;
+    return p;
+}
+
+void
+loadOnce()
+{
+    std::lock_guard<std::mutex> lock(load_mutex);
+    if (loaded)
+        return;
+    loaded = true;
+    std::ifstream in(kProfileCacheFile);
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto sep = line.find('|');
+        if (sep == std::string::npos)
+            continue;
+        const std::string key = line.substr(0, sep);
+        if (key.rfind(kProfileCacheVersion, 0) != 0)
+            continue; // stale schema version
+        if (auto p = deserialize(line.substr(sep + 1))) {
+            Shard &shard = shardFor(key);
+            std::lock_guard<std::mutex> shard_lock(shard.mutex);
+            shard.entries[key] = std::move(*p);
+        }
+    }
+}
+
+} // namespace
+
+std::string
+profileCacheKey(const std::string &workload,
+                const std::string &mapper_id, unsigned window,
+                unsigned nbits, EntropyMetric metric, double scale)
+{
+    std::ostringstream out;
+    out.precision(17); // distinct scales must yield distinct keys
+    out << kProfileCacheVersion << ';' << workload << ';'
+        << (mapper_id.empty() ? "identity" : mapper_id) << ';'
+        << window << ';' << nbits << ';' << static_cast<int>(metric)
+        << ';' << scale;
+    return out.str();
+}
+
+std::optional<EntropyProfile>
+profileCacheLookup(const std::string &key)
+{
+    if (!cacheEnabled())
+        return std::nullopt;
+    loadOnce();
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.entries.find(key);
+    if (it == shard.entries.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+profileCacheStore(const std::string &key, const EntropyProfile &p)
+{
+    if (!cacheEnabled())
+        return;
+    loadOnce();
+    {
+        Shard &shard = shardFor(key);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.entries[key] = p;
+    }
+    std::lock_guard<std::mutex> lock(file_mutex);
+    std::ofstream out(kProfileCacheFile, std::ios::app);
+    out << key << '|' << serialize(p) << '\n';
+}
+
+EntropyProfile
+profileWorkloadCached(const Workload &workload,
+                      const workloads::ProfileOptions &opts,
+                      double scale, const std::string &mapper_id)
+{
+    const std::string key = profileCacheKey(
+        workload.info().abbrev, mapper_id, opts.window, opts.numBits,
+        opts.metric, scale);
+    if (auto hit = profileCacheLookup(key))
+        return *hit;
+    EntropyProfile p = workloads::profileWorkload(workload, opts);
+    profileCacheStore(key, p);
+    return p;
+}
+
+} // namespace harness
+} // namespace valley

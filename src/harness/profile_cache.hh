@@ -1,0 +1,65 @@
+/**
+ * @file
+ * On-disk memoization of entropy profiles, mirroring the simulation
+ * result cache.
+ *
+ * Fig. 5 profiles all sixteen benchmarks and Fig. 10 profiles MT
+ * under every scheme; any profile-driven BIM search re-reads the same
+ * profiles many times over. Profiles are deterministic functions of
+ * (workload, mapper, window, bits, metric, scale), so the first bench
+ * to compute one persists it to a CSV in the working directory and
+ * later runs reuse it. Shares the VALLEY_CACHE=0 escape hatch and the
+ * sharded in-memory map design with `result_cache` (the two caches
+ * use separate files and version strings).
+ */
+
+#ifndef VALLEY_HARNESS_PROFILE_CACHE_HH
+#define VALLEY_HARNESS_PROFILE_CACHE_HH
+
+#include <optional>
+#include <string>
+
+#include "workloads/profiler.hh"
+
+namespace valley {
+namespace harness {
+
+/** Profile cache schema/behavior version; bump on metric changes. */
+extern const char *kProfileCacheVersion;
+
+/** Cache file used by the bench binaries. */
+extern const char *kProfileCacheFile;
+
+/**
+ * Unique key of one profile. `mapper_id` must uniquely identify the
+ * mapper applied before accumulation (e.g. scheme name plus BIM
+ * seed); use "" for no mapper.
+ */
+std::string profileCacheKey(const std::string &workload,
+                            const std::string &mapper_id,
+                            unsigned window, unsigned nbits,
+                            EntropyMetric metric, double scale);
+
+/** Look up a cached profile (loads the file on first use). */
+std::optional<EntropyProfile> profileCacheLookup(
+    const std::string &key);
+
+/** Persist a profile (no-op when caching is disabled). */
+void profileCacheStore(const std::string &key,
+                       const EntropyProfile &p);
+
+/**
+ * Profile a workload through the cache: lookup by
+ * (workload abbreviation, mapper_id, opts, scale), compute with
+ * `workloads::profileWorkload` on a miss, store, return. Cache hits
+ * round-trip doubles at full precision, so a hit is bit-identical to
+ * the original computation.
+ */
+EntropyProfile profileWorkloadCached(
+    const Workload &workload, const workloads::ProfileOptions &opts,
+    double scale, const std::string &mapper_id = "");
+
+} // namespace harness
+} // namespace valley
+
+#endif // VALLEY_HARNESS_PROFILE_CACHE_HH

@@ -7,6 +7,16 @@
  * addresses (optionally after an address mapper, for Fig. 10),
  * computes per-kernel profiles with the TB window, and combines them
  * weighted by request count.
+ *
+ * The pipeline is batched and parallel: per-TB accumulation streams
+ * through the bit-sliced `SlicedBvrAccumulator` with the mapper's
+ * `CompiledTransform` fused into the batch loop, and
+ * `profileWorkload` fans kernels — and large kernels, split into TB
+ * ranges — over a `ThreadPool`. Every TB writes only its own
+ * preallocated BVR slot and kernels combine in launch order, so the
+ * parallel profile is bit-identical to the serial one
+ * (`ProfileOptions::threads = 1`), which in turn is bit-identical to
+ * the scalar `BvrAccumulator` path (see `tests/profiler_test.cc`).
  */
 
 #ifndef VALLEY_WORKLOADS_PROFILER_HH
@@ -26,6 +36,13 @@ struct ProfileOptions
     unsigned numBits = 30;  ///< physical address bits
     const AddressMapper *mapper = nullptr; ///< optional remapping
     EntropyMetric metric = EntropyMetric::BitProbability;
+
+    /**
+     * Worker threads for BVR accumulation and per-kernel profiling:
+     * 1 = serial, 0 = one per hardware thread. Results are
+     * bit-identical at any thread count.
+     */
+    unsigned threads = 0;
 };
 
 /** Per-bit entropy profile of a single kernel. */

@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "common/bitops.hh"
+#include "common/rng.hh"
 
 using namespace valley;
 
@@ -89,4 +92,42 @@ TEST(Bitops, Log2Ceil)
     EXPECT_EQ(bits::log2Ceil(3), 2u);
     EXPECT_EQ(bits::log2Ceil(4), 2u);
     EXPECT_EQ(bits::log2Ceil(5), 3u);
+}
+
+TEST(Bitops, Transpose64Orientation)
+{
+    // After the transpose, bit c of rows[r] is bit r of the original
+    // rows[c] — the exact property the bit-sliced accumulator needs
+    // (lane[b] position i == address i bit b).
+    XorShiftRng rng(31);
+    std::array<std::uint64_t, 64> orig, t;
+    for (unsigned i = 0; i < 64; ++i)
+        orig[i] = t[i] = rng.next();
+    bits::transpose64(t.data());
+    for (unsigned r = 0; r < 64; ++r)
+        for (unsigned c = 0; c < 64; ++c)
+            ASSERT_EQ((t[r] >> c) & 1, (orig[c] >> r) & 1)
+                << "r=" << r << " c=" << c;
+}
+
+TEST(Bitops, Transpose64IsAnInvolution)
+{
+    XorShiftRng rng(32);
+    std::array<std::uint64_t, 64> orig, t;
+    for (unsigned i = 0; i < 64; ++i)
+        orig[i] = t[i] = rng.next();
+    bits::transpose64(t.data());
+    bits::transpose64(t.data());
+    EXPECT_EQ(t, orig);
+}
+
+TEST(Bitops, Transpose64Identity)
+{
+    // The identity matrix (row r = bit r) is its own transpose.
+    std::array<std::uint64_t, 64> t;
+    for (unsigned i = 0; i < 64; ++i)
+        t[i] = std::uint64_t{1} << i;
+    const std::array<std::uint64_t, 64> orig = t;
+    bits::transpose64(t.data());
+    EXPECT_EQ(t, orig);
 }

@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "common/rng.hh"
 #include "entropy/window_entropy.hh"
 
 using namespace valley;
@@ -42,6 +43,32 @@ TEST(ShannonEntropyBaseV, SkewLowersEntropy)
 {
     EXPECT_LT(shannonEntropyBaseV({0.9, 0.1}),
               shannonEntropyBaseV({0.6, 0.4}));
+}
+
+TEST(ShannonEntropyBaseV, SingleOutcomeEdgeCases)
+{
+    // v == 1 must be handled inside the function (log base 1 is
+    // undefined), whatever the support looks like: a lone
+    // probability, one live outcome among zeros, or an empty vector.
+    EXPECT_DOUBLE_EQ(shannonEntropyBaseV({1.0}), 0.0);
+    EXPECT_DOUBLE_EQ(shannonEntropyBaseV({0.0, 0.0, 1.0, 0.0}), 0.0);
+    EXPECT_DOUBLE_EQ(shannonEntropyBaseV({}), 0.0);
+    EXPECT_DOUBLE_EQ(shannonEntropyBaseV({0.0, 0.0}), 0.0);
+}
+
+TEST(ShannonEntropyBaseV, AllEqualProbabilityIsExactlyOne)
+{
+    // The uniform distribution saturates the log-base-v metric; the
+    // fair coin must be *exactly* 1 (windowBitEntropy sums it per
+    // window and exact-equality tests depend on it).
+    EXPECT_DOUBLE_EQ(shannonEntropyBaseV({0.5, 0.5}), 1.0);
+    for (int v = 2; v <= 12; ++v) {
+        std::vector<double> p(v, 1.0 / v);
+        EXPECT_NEAR(shannonEntropyBaseV(p), 1.0, 1e-12) << "v=" << v;
+        // Zero-probability entries must not change the support count.
+        p.push_back(0.0);
+        EXPECT_NEAR(shannonEntropyBaseV(p), 1.0, 1e-12) << "v=" << v;
+    }
 }
 
 TEST(BvrAccumulator, CountsOnesPerBit)
@@ -129,6 +156,41 @@ TEST(WindowEntropy, ThreeDistinctValuesUseLogBase3)
 {
     // One window of 3 distinct BVRs: uniform over v=3 -> entropy 1.
     EXPECT_DOUBLE_EQ(windowEntropy({0.0, 0.5, 1.0}, 3), 1.0);
+}
+
+TEST(WindowEntropy, IncrementalMatchesReferenceOracle)
+{
+    // The production implementation maintains the window multiset
+    // incrementally; the per-window sort oracle must agree to within
+    // accumulated-rounding noise on adversarial streams: few distinct
+    // values (deep counts), all-distinct values (max support), and
+    // alternating runs (counts repeatedly hitting zero).
+    XorShiftRng rng(4242);
+    for (int trial = 0; trial < 40; ++trial) {
+        const std::size_t n = 4 + rng.below(180);
+        std::vector<double> few(n), many(n), runs(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            few[i] = static_cast<double>(rng.below(4)) / 3.0;
+            many[i] = rng.uniform();
+            runs[i] = (i / 3) % 2 ? 1.0 : 0.0;
+        }
+        for (unsigned w : {1u, 2u, 7u, 12u, 64u, 256u}) {
+            for (const auto *s : {&few, &many, &runs}) {
+                EXPECT_NEAR(windowEntropy(*s, w),
+                            windowEntropyReference(*s, w), 1e-12)
+                    << "n=" << n << " w=" << w;
+            }
+        }
+    }
+}
+
+TEST(WindowEntropy, ReferenceAgreesOnPaperExamples)
+{
+    // The oracle itself still reproduces the Fig. 3 numbers.
+    const std::vector<double> fig3 = {0, 0, 1, 1, 0, 0, 1, 1};
+    EXPECT_NEAR(windowEntropyReference(fig3, 2), 3.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(windowEntropyReference(fig3, 4), 1.0);
+    EXPECT_DOUBLE_EQ(windowEntropyReference({0.5, 0.5, 0.5}, 2), 0.0);
 }
 
 TEST(WindowBitEntropy, MatchesEq2OnBinaryBvrExamples)
