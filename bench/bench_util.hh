@@ -3,10 +3,11 @@
  * Shared helpers for the figure/table reproduction benches.
  *
  * Each bench binary regenerates one table or figure of the paper.
- * Results are memoized in ./valley_results_cache.csv so the benches
- * that share the Fig. 11-17 grid only simulate it once
- * (VALLEY_CACHE=0 disables). VALLEY_SCALE (0 < s <= 1) scales the
- * workload problem sizes for quick runs.
+ * Results are memoized under harness::cacheDir() (cache/ by default,
+ * VALLEY_CACHE_DIR to relocate) so the benches that share the
+ * Fig. 11-17 grid only simulate it once (VALLEY_CACHE=0 disables).
+ * VALLEY_SCALE (0 < s <= 1) scales the workload problem sizes for
+ * quick runs.
  */
 
 #ifndef VALLEY_BENCH_BENCH_UTIL_HH
@@ -121,13 +122,18 @@ printHeader(const std::string &experiment, const std::string &what)
                 "=========================\n\n");
 }
 
-/** The Fig. 11-17 grid: valley set x all schemes, Table I machine. */
+/**
+ * The Fig. 11-17 grid: valley set x `schemes`, Table I machine.
+ * Benches that add columns (fig12's SBIM) pass an extended scheme
+ * list; the shared cells still come from the same result cache.
+ */
 inline harness::Grid
-valleyGrid(double scale = 1.0)
+valleyGrid(double scale = 1.0,
+           std::vector<Scheme> schemes = allSchemes())
 {
     harness::GridOptions o;
     o.workloads = workloads::valleySet();
-    o.schemes = allSchemes();
+    o.schemes = std::move(schemes);
     o.scale = envScale(scale);
     o.useCache = true;
     o.progress = true;

@@ -7,6 +7,19 @@
  * `a_out = M x a_in` where multiplication is AND and addition is XOR.
  * Requiring M to be invertible over GF(2) guarantees the mapping is
  * one-to-one, i.e. no two physical addresses collide after remapping.
+ *
+ * `BitMatrix` itself is plain algebra — `set`/`setRow` can build any
+ * matrix, singular ones included. The invertibility invariant is
+ * enforced at the system's boundaries instead:
+ *
+ *  - every `bim_builder.hh` constructor returns an invertible matrix
+ *    by construction (permutations, unit-triangular XOR taps) or by
+ *    rejection sampling against `invertible()` (`randomBroad`);
+ *  - `AddressMapper` refuses a singular BIM at construction, so no
+ *    singular matrix can ever reach the simulator;
+ *  - the BIM search (`search/bim_search.hh`) only applies moves that
+ *    preserve invertibility, rank-checking every candidate before it
+ *    can be accepted.
  */
 
 #ifndef VALLEY_BIM_BIT_MATRIX_HH

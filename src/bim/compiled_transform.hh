@@ -52,6 +52,19 @@ class CompiledTransform
     /** True iff the compiled matrix is the identity (BASE scheme). */
     bool isIdentity() const { return identity; }
 
+    /**
+     * The raw 8 x 256 lookup tables: `tables()[s][v]` is the XOR
+     * contribution of input byte slice `s` holding value `v`.
+     * Exported by `tools/valley_search` so a searched BIM ships in
+     * the exact form the simulator (or an RTL table generator)
+     * consumes.
+     */
+    const std::array<std::array<std::uint64_t, 256>, 8> &
+    tables() const
+    {
+        return slice;
+    }
+
   private:
     std::array<std::array<std::uint64_t, 256>, 8> slice;
     bool identity = false;

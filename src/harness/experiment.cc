@@ -7,6 +7,7 @@
 #include "common/stats.hh"
 #include "common/thread_pool.hh"
 #include "harness/result_cache.hh"
+#include "search/searched_bim.hh"
 
 namespace valley {
 namespace harness {
@@ -16,9 +17,22 @@ runOne(const SimConfig &config, Scheme scheme,
        const std::string &workload, double scale,
        std::uint64_t bim_seed)
 {
-    const auto mapper =
-        mapping::makeScheme(scheme, config.layout, bim_seed);
     const auto wl = workloads::make(workload, scale);
+    std::unique_ptr<AddressMapper> mapper;
+    if (scheme == Scheme::SBIM) {
+        // Profile-driven searched mapping: run the BIM search over
+        // this workload's trace planes. Restarts stay serial here —
+        // grid cells already fan out over the harness thread pool —
+        // and the search is deterministic in (workload, scale,
+        // layout, window, seed), so cells remain bit-reproducible.
+        search::SearchOptions so = search::defaultOptions(config.layout);
+        so.seed = bim_seed;
+        so.window = config.numSms;
+        so.threads = 1;
+        mapper = search::searchedMapper(config.layout, *wl, so);
+    } else {
+        mapper = mapping::makeScheme(scheme, config.layout, bim_seed);
+    }
     GpuSystem sim(config, *mapper);
     return sim.run(*wl);
 }
@@ -28,9 +42,14 @@ runOneCached(const SimConfig &config, Scheme scheme,
              const std::string &workload, double scale,
              std::uint64_t bim_seed)
 {
-    const std::string key = cacheKey(config.name, workload,
-                                     schemeName(scheme), bim_seed,
-                                     scale);
+    // SBIM matrices depend on the search implementation, not just the
+    // seed, so its cells carry the search version in the scheme slot.
+    const std::string scheme_id =
+        scheme == Scheme::SBIM
+            ? schemeName(scheme) + "@" + search::kSearchVersion
+            : schemeName(scheme);
+    const std::string key =
+        cacheKey(config.name, workload, scheme_id, bim_seed, scale);
     if (auto hit = cacheLookup(key)) {
         hit->config = config.name;
         return *hit;

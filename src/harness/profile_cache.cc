@@ -1,6 +1,7 @@
 #include "harness/profile_cache.hh"
 
 #include <array>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <mutex>
@@ -12,7 +13,12 @@ namespace valley {
 namespace harness {
 
 const char *kProfileCacheVersion = "p1";
-const char *kProfileCacheFile = "valley_profiles_cache.csv";
+
+std::string
+profileCachePath()
+{
+    return cacheDir() + "/valley_profiles_cache.csv";
+}
 
 namespace {
 
@@ -72,7 +78,7 @@ loadOnce()
     if (loaded)
         return;
     loaded = true;
-    std::ifstream in(kProfileCacheFile);
+    std::ifstream in(profileCachePath());
     std::string line;
     while (std::getline(in, line)) {
         const auto sep = line.find('|');
@@ -131,7 +137,9 @@ profileCacheStore(const std::string &key, const EntropyProfile &p)
         shard.entries[key] = p;
     }
     std::lock_guard<std::mutex> lock(file_mutex);
-    std::ofstream out(kProfileCacheFile, std::ios::app);
+    std::error_code ec; // best-effort: a failed append only loses memoization
+    std::filesystem::create_directories(cacheDir(), ec);
+    std::ofstream out(profileCachePath(), std::ios::app);
     out << key << '|' << serialize(p) << '\n';
 }
 

@@ -7,10 +7,11 @@
  * under every scheme; any profile-driven BIM search re-reads the same
  * profiles many times over. Profiles are deterministic functions of
  * (workload, mapper, window, bits, metric, scale), so the first bench
- * to compute one persists it to a CSV in the working directory and
- * later runs reuse it. Shares the VALLEY_CACHE=0 escape hatch and the
- * sharded in-memory map design with `result_cache` (the two caches
- * use separate files and version strings).
+ * to compute one persists it to a CSV under `harness::cacheDir()`
+ * (VALLEY_CACHE_DIR-configurable, "cache/" by default) and later runs
+ * reuse it. Shares the VALLEY_CACHE=0 escape hatch and the sharded
+ * in-memory map design with `result_cache` (the two caches use
+ * separate files and version strings).
  */
 
 #ifndef VALLEY_HARNESS_PROFILE_CACHE_HH
@@ -27,8 +28,8 @@ namespace harness {
 /** Profile cache schema/behavior version; bump on metric changes. */
 extern const char *kProfileCacheVersion;
 
-/** Cache file used by the bench binaries. */
-extern const char *kProfileCacheFile;
+/** Profile cache file path (inside `harness::cacheDir()`). */
+std::string profileCachePath();
 
 /**
  * Unique key of one profile. `mapper_id` must uniquely identify the

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <mutex>
@@ -11,7 +12,19 @@ namespace valley {
 namespace harness {
 
 const char *kResultCacheVersion = "v3";
-const char *kResultCacheFile = "valley_results_cache.csv";
+
+std::string
+cacheDir()
+{
+    const char *env = std::getenv("VALLEY_CACHE_DIR");
+    return env && *env ? env : "cache";
+}
+
+std::string
+resultCachePath()
+{
+    return cacheDir() + "/valley_results_cache.csv";
+}
 
 namespace {
 
@@ -89,7 +102,7 @@ loadOnce()
     if (loaded)
         return;
     loaded = true;
-    std::ifstream in(kResultCacheFile);
+    std::ifstream in(resultCachePath());
     std::string line;
     while (std::getline(in, line)) {
         const auto sep = line.find('|');
@@ -151,7 +164,9 @@ cacheStore(const std::string &key, const RunResult &r)
         shard.entries[key] = r;
     }
     std::lock_guard<std::mutex> lock(file_mutex);
-    std::ofstream out(kResultCacheFile, std::ios::app);
+    std::error_code ec; // best-effort: a failed append only loses memoization
+    std::filesystem::create_directories(cacheDir(), ec);
+    std::ofstream out(resultCachePath(), std::ios::app);
     out << key << '|' << serialize(r) << '\n';
 }
 

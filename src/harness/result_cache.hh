@@ -4,9 +4,11 @@
  *
  * The paper's figures 11-17 all consume the same 10-workload x
  * 6-scheme grid; the bench binaries are separate executables, so the
- * first one to run persists each RunResult into a CSV cache in the
- * working directory and later benches reuse it. Set VALLEY_CACHE=0 to
- * force fresh simulation; delete the file after changing simulator or
+ * first one to run persists each RunResult into a CSV cache under
+ * `cacheDir()` (a `cache/` directory next to the working directory by
+ * default; run artifacts never land in the repo root). Set
+ * VALLEY_CACHE=0 to force fresh simulation and VALLEY_CACHE_DIR to
+ * relocate the directory; delete the file after changing simulator or
  * workload code (the cache key includes a schema version that is
  * bumped with behavioral changes).
  */
@@ -25,8 +27,15 @@ namespace harness {
 /** Cache schema/behavior version; bump on simulator changes. */
 extern const char *kResultCacheVersion;
 
-/** Cache file used by the bench binaries. */
-extern const char *kResultCacheFile;
+/**
+ * Directory holding every on-disk cache file: $VALLEY_CACHE_DIR if
+ * set, else "cache" relative to the working directory. Created on
+ * first store; gitignored.
+ */
+std::string cacheDir();
+
+/** Result cache file path (inside `cacheDir()`). */
+std::string resultCachePath();
 
 /** True unless VALLEY_CACHE=0 is set in the environment. */
 bool cacheEnabled();

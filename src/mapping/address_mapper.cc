@@ -30,6 +30,7 @@ schemeName(Scheme s)
       case Scheme::PAE:  return "PAE";
       case Scheme::FAE:  return "FAE";
       case Scheme::ALL:  return "ALL";
+      case Scheme::SBIM: return "SBIM";
     }
     return "?";
 }
@@ -133,6 +134,13 @@ makeScheme(Scheme s, const AddressLayout &layout, std::uint64_t seed)
         m = bim::randomBroad(n, targets, mask, rng);
         break;
       }
+      case Scheme::SBIM:
+        // The searched BIM depends on a workload profile, which this
+        // layout-only factory does not have; the harness builds SBIM
+        // mappers via search::searchedMapper.
+        throw std::invalid_argument(
+            "makeScheme: SBIM requires a workload; use "
+            "search::searchedMapper");
     }
     return std::make_unique<AddressMapper>(schemeName(s), layout,
                                            std::move(m));

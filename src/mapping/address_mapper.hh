@@ -29,10 +29,20 @@
 
 namespace valley {
 
-/** The six schemes of the paper's evaluation. */
-enum class Scheme { BASE, PM, RMP, PAE, FAE, ALL };
+/**
+ * The six schemes of the paper's evaluation, plus SBIM: the
+ * profile-driven searched BIM produced by `search::BimSearch` (this
+ * repo's automation of the Section IV-B design-time methodology).
+ * SBIM is per-workload — `mapping::makeScheme` cannot build it from a
+ * layout alone; the harness routes it through
+ * `search::searchedMapper` instead.
+ */
+enum class Scheme { BASE, PM, RMP, PAE, FAE, ALL, SBIM };
 
-/** All schemes in the paper's presentation order. */
+/**
+ * The paper's six schemes in its presentation order (SBIM excluded;
+ * benches append it explicitly when comparing searched mappings).
+ */
 const std::vector<Scheme> &allSchemes();
 
 /** Scheme name as printed in the paper's figures. */
@@ -51,6 +61,14 @@ std::string schemeName(Scheme s);
 class AddressMapper
 {
   public:
+    /**
+     * Bind a BIM to a layout and compile its fast paths.
+     *
+     * @throws std::invalid_argument if the matrix size differs from
+     *         the layout's address bits or the BIM is singular — this
+     *         is the enforcement point that keeps every mapping that
+     *         reaches the simulator one-to-one (see bit_matrix.hh).
+     */
     AddressMapper(std::string name, AddressLayout layout, BitMatrix bim);
 
     /** Transform an input address into the remapped address. */

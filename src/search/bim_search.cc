@@ -1,0 +1,363 @@
+#include "search/bim_search.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bitops.hh"
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+
+namespace valley {
+namespace search {
+
+namespace {
+
+/**
+ * Rank check of the full candidate matrix: identity everywhere except
+ * the target rows. This is the invertibility invariant's enforcement
+ * point — every move calls it before the move can be accepted, so no
+ * singular matrix ever enters the chain (see bim_search.hh).
+ */
+bool
+invertibleWithTargets(unsigned n, const std::vector<unsigned> &targets,
+                      const std::vector<std::uint64_t> &target_rows)
+{
+    std::uint64_t rows[64];
+    for (unsigned r = 0; r < n; ++r)
+        rows[r] = std::uint64_t{1} << r;
+    for (std::size_t i = 0; i < targets.size(); ++i)
+        rows[targets[i]] = target_rows[i];
+
+    unsigned rank = 0;
+    for (unsigned c = 0; c < n && rank < n; ++c) {
+        unsigned p = rank;
+        while (p < n && !((rows[p] >> c) & 1))
+            ++p;
+        if (p == n)
+            continue;
+        std::swap(rows[rank], rows[p]);
+        for (unsigned r = 0; r < n; ++r)
+            if (r != rank && ((rows[r] >> c) & 1))
+                rows[r] ^= rows[rank];
+        ++rank;
+    }
+    return rank == n;
+}
+
+/** XOR gates of the target rows (non-target rows are identity = 0). */
+unsigned
+gateCount(const std::vector<std::uint64_t> &rows)
+{
+    unsigned g = 0;
+    for (std::uint64_t r : rows) {
+        const unsigned taps = static_cast<unsigned>(std::popcount(r));
+        g += taps > 1 ? taps - 1 : 0;
+    }
+    return g;
+}
+
+/** Deterministic per-restart seed derivation. */
+std::uint64_t
+chainSeed(std::uint64_t seed, unsigned restart)
+{
+    return (seed + 1) * 0x9E3779B97F4A7C15ull ^
+           (static_cast<std::uint64_t>(restart) + 1) *
+               0xBF58476D1CE4E5B9ull;
+}
+
+} // namespace
+
+BimSearch::BimSearch(const AddressLayout &layout,
+                     const TracePlanes &planes_,
+                     FlatnessObjective objective_, SearchOptions opts_)
+    : nbits(layout.addrBits), planes(planes_),
+      objective(std::move(objective_)), opts(std::move(opts_))
+{
+    if (planes.numBits() != nbits)
+        throw std::invalid_argument(
+            "BimSearch: planes bit width != layout address bits");
+
+    targets_ = opts.targets.empty() ? layout.randomizeTargets()
+                                    : opts.targets;
+    mask_ = (opts.candidateMask ? opts.candidateMask
+                                : layout.pageMask()) &
+            bits::mask(nbits);
+    if (targets_.empty())
+        throw std::invalid_argument("BimSearch: no target bits");
+    for (unsigned t : targets_) {
+        if (t >= nbits)
+            throw std::invalid_argument(
+                "BimSearch: target out of range");
+        // Same precondition as bim::randomBroad: a target column that
+        // no target row can tap would be zero everywhere (non-target
+        // rows are identity), making every candidate singular.
+        if (!((mask_ >> t) & 1))
+            throw std::invalid_argument(
+                "BimSearch: targets must be candidates");
+    }
+    if (!objective.targetWeights.empty() &&
+        objective.targetWeights.size() != targets_.size())
+        throw std::invalid_argument(
+            "BimSearch: targetWeights size != targets");
+    for (unsigned b = 0; b < nbits; ++b)
+        if ((mask_ >> b) & 1)
+            candidateBits.push_back(b);
+    if (opts.restarts == 0)
+        opts.restarts = 1;
+    if (opts.minTaps == 0)
+        opts.minTaps = 1;
+}
+
+double
+BimSearch::identityCost() const
+{
+    std::vector<double> ent(targets_.size());
+    for (std::size_t i = 0; i < targets_.size(); ++i)
+        ent[i] = planes.rowEntropy(std::uint64_t{1} << targets_[i],
+                                   opts.window, opts.metric);
+    return objective.cost(ent, 0);
+}
+
+/** Mutable state of one annealing chain. */
+struct BimSearch::Chain
+{
+    std::vector<std::uint64_t> rows; ///< target row masks
+    std::vector<double> ent;         ///< cached per-target entropy
+    unsigned gates = 0;
+    double cost = 0.0;
+};
+
+SearchResult
+BimSearch::runChain(unsigned restart, bool greedy) const
+{
+    const std::size_t nt = targets_.size();
+    XorShiftRng rng(chainSeed(opts.seed, restart));
+    SearchStats stats;
+
+    const auto evalRow = [&](std::uint64_t row) {
+        ++stats.evaluations;
+        return planes.rowEntropy(row, opts.window, opts.metric);
+    };
+    const auto finishChain = [&](Chain &c) {
+        c.gates = gateCount(c.rows);
+        c.ent.resize(nt);
+        for (std::size_t i = 0; i < nt; ++i)
+            c.ent[i] = evalRow(c.rows[i]);
+        c.cost = objective.cost(c.ent, c.gates);
+    };
+
+    // Start state: restart 0 (and the greedy baseline) start from the
+    // identity, so any accepted move yields a strict improvement over
+    // BASE; later restarts start from a random invertible draw for
+    // diversity (randomBroad-style rejection sampling).
+    Chain cur;
+    cur.rows.resize(nt);
+    for (std::size_t i = 0; i < nt; ++i)
+        cur.rows[i] = std::uint64_t{1} << targets_[i];
+    if (restart != 0 && !greedy) {
+        constexpr unsigned kDrawAttempts = 10000;
+        std::vector<std::uint64_t> draw(nt);
+        for (unsigned a = 0; a < kDrawAttempts; ++a) {
+            for (std::size_t i = 0; i < nt; ++i) {
+                std::uint64_t row = 0;
+                do {
+                    row = rng.next() & mask_;
+                } while (static_cast<unsigned>(std::popcount(row)) <
+                         opts.minTaps);
+                draw[i] = row;
+            }
+            if (invertibleWithTargets(nbits, targets_, draw)) {
+                cur.rows = draw;
+                break;
+            }
+            ++stats.rejectedSingular;
+        }
+    }
+    finishChain(cur);
+    Chain best = cur;
+
+    const unsigned iters = opts.iterations;
+    const double t0 = std::max(opts.initialTemp, 1e-12);
+    const double tf =
+        std::min(std::max(opts.finalTemp, 1e-12), t0);
+    std::vector<double> ent_scratch(nt);
+
+    // One Metropolis step at `temp` (0 = strict-improvement only).
+    const auto step = [&](double temp) {
+        // Propose one invertibility-preserving move (bim_search.hh).
+        const unsigned kind = static_cast<unsigned>(rng.below(4));
+        std::size_t i = static_cast<std::size_t>(rng.below(nt));
+        std::size_t j = i;
+        std::uint64_t new_row = 0;
+        bool swap_move = false;
+        if (kind <= 1) {
+            // Tap toggle: flip one candidate tap of row i.
+            const unsigned b = candidateBits[static_cast<std::size_t>(
+                rng.below(candidateBits.size()))];
+            new_row = cur.rows[i] ^ (std::uint64_t{1} << b);
+        } else if (kind == 2 && nt > 1) {
+            // Row XOR: an elementary row operation.
+            do {
+                j = static_cast<std::size_t>(rng.below(nt));
+            } while (j == i);
+            new_row = cur.rows[i] ^ cur.rows[j];
+        } else {
+            // Row swap: permutes output positions; entropy values
+            // move with the rows, so no re-evaluation is needed.
+            if (nt <= 1)
+                return;
+            do {
+                j = static_cast<std::size_t>(rng.below(nt));
+            } while (j == i);
+            swap_move = true;
+        }
+
+        double new_cost;
+        double new_ent = 0.0;
+        unsigned new_gates = cur.gates;
+        if (swap_move) {
+            // Swapping two rows only permutes the output bits; rank
+            // is invariant under row permutation, so no rank check is
+            // needed (or possible to fail) here — the final
+            // invertible() audit below still covers the result.
+            ent_scratch = cur.ent;
+            std::swap(ent_scratch[i], ent_scratch[j]);
+            new_cost = objective.cost(ent_scratch, cur.gates);
+        } else {
+            if (new_row == 0 ||
+                static_cast<unsigned>(std::popcount(new_row)) <
+                    opts.minTaps)
+                return;
+            std::vector<std::uint64_t> cand_rows = cur.rows;
+            cand_rows[i] = new_row;
+            if (!invertibleWithTargets(nbits, targets_, cand_rows)) {
+                ++stats.rejectedSingular;
+                return;
+            }
+            new_ent = evalRow(new_row);
+            const unsigned old_taps = static_cast<unsigned>(
+                std::popcount(cur.rows[i]));
+            const unsigned new_taps =
+                static_cast<unsigned>(std::popcount(new_row));
+            new_gates = cur.gates - (old_taps > 1 ? old_taps - 1 : 0) +
+                        (new_taps > 1 ? new_taps - 1 : 0);
+            ent_scratch = cur.ent;
+            ent_scratch[i] = new_ent;
+            new_cost = objective.cost(ent_scratch, new_gates);
+        }
+
+        const double dc = new_cost - cur.cost;
+        const bool accept =
+            dc < 0.0 ||
+            (temp > 0.0 && rng.uniform() < std::exp(-dc / temp));
+        if (!accept)
+            return;
+        ++stats.accepted;
+        if (swap_move) {
+            std::swap(cur.rows[i], cur.rows[j]);
+            std::swap(cur.ent[i], cur.ent[j]);
+        } else {
+            cur.rows[i] = new_row;
+            cur.ent[i] = new_ent;
+            cur.gates = new_gates;
+        }
+        cur.cost = new_cost;
+        if (cur.cost < best.cost)
+            best = cur;
+    };
+
+    // Annealing phase: geometric cooling from t0 to tf (the greedy
+    // baseline runs the same steps at temperature 0 throughout).
+    for (unsigned k = 0; k < iters; ++k) {
+        const double temp =
+            greedy ? 0.0
+                   : t0 * std::pow(tf / t0,
+                                   iters > 1
+                                       ? static_cast<double>(k) /
+                                             (iters - 1)
+                                       : 0.0);
+        step(temp);
+    }
+
+    // Zero-temperature polish: descend from the chain's best state.
+    // The gate regularizer is finer-grained than any practical final
+    // temperature, so without this the chain could end on a state
+    // that still accepts gate-increasing wiggles and return a best
+    // that a plain descent would improve.
+    if (!greedy) {
+        cur = best;
+        for (unsigned k = 0; k < iters / 3 + 1; ++k)
+            step(0.0);
+    }
+
+    SearchResult result;
+    BitMatrix m = BitMatrix::identity(nbits);
+    for (std::size_t i = 0; i < nt; ++i)
+        m.setRow(targets_[i], best.rows[i]);
+    // The invariant's final audit: a singular matrix here would mean
+    // a move slipped past its rank check.
+    if (!m.invertible())
+        throw std::logic_error("BimSearch: search produced a "
+                               "singular matrix");
+    result.bim = std::move(m);
+    result.cost = best.cost;
+    result.targetEntropy = best.ent;
+    result.bestRestart = restart;
+    result.stats = stats;
+    return result;
+}
+
+SearchResult
+BimSearch::anneal() const
+{
+    const unsigned restarts = opts.restarts;
+    std::vector<SearchResult> slots(restarts);
+    const auto runOne = [&](unsigned r) {
+        slots[r] = runChain(r, /*greedy=*/false);
+    };
+
+    const unsigned threads = opts.threads == 0
+                                 ? ThreadPool::defaultThreads()
+                                 : opts.threads;
+    if (threads <= 1 || restarts <= 1) {
+        for (unsigned r = 0; r < restarts; ++r)
+            runOne(r);
+    } else {
+        ThreadPool pool(std::min(threads, restarts));
+        for (unsigned r = 0; r < restarts; ++r)
+            pool.submit([&runOne, r] { runOne(r); });
+        pool.run();
+    }
+
+    // Best cost wins; ties break toward the lowest restart index, so
+    // the choice is deterministic under any scheduling order.
+    unsigned bi = 0;
+    for (unsigned r = 1; r < restarts; ++r)
+        if (slots[r].cost < slots[bi].cost)
+            bi = r;
+    SearchResult out = std::move(slots[bi]);
+    out.bestRestart = bi;
+    SearchStats total;
+    for (const SearchResult &s : slots) {
+        total.evaluations += s.stats.evaluations;
+        total.accepted += s.stats.accepted;
+        total.rejectedSingular += s.stats.rejectedSingular;
+    }
+    out.stats = total;
+    out.identityCost = identityCost();
+    return out;
+}
+
+SearchResult
+BimSearch::greedy() const
+{
+    SearchResult out = runChain(0, /*greedy=*/true);
+    out.identityCost = identityCost();
+    return out;
+}
+
+} // namespace search
+} // namespace valley

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Profile-driven BIM optimizer (the "mapping service" core).
+ *
+ * Closes the loop of the paper's Section IV-B design-time
+ * methodology: instead of hand-deriving a BIM from an entropy chart,
+ * `BimSearch` *searches* the space of invertible GF(2) matrices for
+ * one that flattens a workload's entropy valley, scoring candidates
+ * with `FlatnessObjective` over `TracePlanes` (one XOR+popcount pass
+ * per candidate row — no re-profiling).
+ *
+ * ## Search space and the invertibility invariant
+ *
+ * Candidates are matrices that are identity on every non-target row
+ * and whose target rows tap only `candidateMask` input bits (the PAE
+ * input restriction of Fig. 9 by default). The walk only ever applies
+ * moves that keep the *full* matrix invertible over GF(2) — the
+ * one-to-one mapping guarantee of Section IV-A is an invariant of the
+ * search, not a post-hoc filter:
+ *
+ *  - **tap toggle** flips one candidate tap of one target row, then
+ *    re-checks the full-matrix rank and rejects singular results;
+ *  - **row XOR** replaces target row i by `row_i ^ row_j` (j another
+ *    target). This is an elementary row operation — left-multiplying
+ *    by an invertible elementary matrix — so it cannot change the
+ *    rank; the rank check still runs as a guard (and to keep the
+ *    invariant auditable);
+ *  - **row swap** exchanges two target rows — a permutation of the
+ *    output bits, under which rank is invariant, so it carries no
+ *    per-move check; the final verification still covers it.
+ *
+ * Every accepted state is therefore invertible by construction, and
+ * `anneal`/`greedy` additionally verify the final matrix before
+ * returning (`SearchResult::bim` would throw inside `AddressMapper`
+ * otherwise).
+ *
+ * ## Determinism
+ *
+ * All randomness flows through `XorShiftRng` generators seeded from
+ * `SearchOptions::seed`; each restart derives its own seed from
+ * (seed, restart index), owns all of its mutable state and writes its
+ * result into a preallocated slot, so running restarts across a
+ * `ThreadPool` is bit-identical to running them serially
+ * (`SearchOptions::threads = 1`; asserted in
+ * `tests/bim_search_test.cc`).
+ */
+
+#ifndef VALLEY_SEARCH_BIM_SEARCH_HH
+#define VALLEY_SEARCH_BIM_SEARCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bim/bit_matrix.hh"
+#include "mapping/address_layout.hh"
+#include "search/objective.hh"
+#include "search/trace_planes.hh"
+
+namespace valley {
+namespace search {
+
+/**
+ * Search behavior version. Folded into the harness result-cache key
+ * for SBIM cells: the searched matrix depends on every default in
+ * `SearchOptions`/`FlatnessObjective` and on the move set, none of
+ * which appear in the (workload, scheme, seed, scale) key. Bump this
+ * whenever a change alters which matrix a given seed produces, or
+ * cached SBIM grid cells go stale silently.
+ */
+inline constexpr const char *kSearchVersion = "s1";
+
+/** Search budget and space knobs. */
+struct SearchOptions
+{
+    /**
+     * Output rows the search may rewrite (all other rows stay
+     * identity). Empty = the layout's channel/vault/bank positions
+     * (`AddressLayout::randomizeTargets`).
+     */
+    std::vector<unsigned> targets;
+
+    /**
+     * Input bits the target rows may tap. 0 = the layout's DRAM page
+     * address bits (`AddressLayout::pageMask`), i.e. the PAE input
+     * restriction that keeps the remap power-efficient. Every target
+     * bit must be a candidate, or no invertible matrix with identity
+     * non-target rows exists (same precondition as
+     * `bim::randomBroad`).
+     */
+    std::uint64_t candidateMask = 0;
+
+    unsigned window = 12;        ///< TB window w (#SMs, Section III-A)
+    EntropyMetric metric = EntropyMetric::BitProbability;
+
+    std::uint64_t seed = 1;      ///< master seed; see class comment
+    unsigned restarts = 4;       ///< independent annealing chains
+    unsigned iterations = 1200;  ///< moves per chain
+    double initialTemp = 0.08;   ///< Metropolis start temperature
+    double finalTemp = 2e-5;     ///< geometric cooling endpoint
+    unsigned minTaps = 1;        ///< minimum taps per target row
+
+    /**
+     * Worker threads for the restart fan-out: 1 = serial, 0 = one per
+     * hardware thread. Bit-identical at any thread count.
+     */
+    unsigned threads = 0;
+};
+
+/** Counters describing one search run. */
+struct SearchStats
+{
+    std::uint64_t evaluations = 0;      ///< rowEntropy calls
+    std::uint64_t accepted = 0;         ///< accepted moves
+    std::uint64_t rejectedSingular = 0; ///< moves failing the rank check
+};
+
+/** Outcome of `BimSearch::anneal` or `BimSearch::greedy`. */
+struct SearchResult
+{
+    BitMatrix bim;                    ///< best invertible matrix found
+    double cost = 0.0;                ///< objective of `bim`
+    double identityCost = 0.0;        ///< objective of the identity BIM
+    std::vector<double> targetEntropy;///< per-target entropy of `bim`
+    unsigned bestRestart = 0;         ///< chain that produced `bim`
+    SearchStats stats;                ///< summed across chains
+
+    SearchResult() : bim(1) {}
+
+    /** Objective improvement over the identity mapping (>= 0). */
+    double gain() const { return identityCost - cost; }
+};
+
+/**
+ * Simulated-annealing BIM search over one workload's trace planes.
+ *
+ * The `TracePlanes` reference must outlive the search; it is read
+ * concurrently by parallel restarts and never mutated.
+ */
+class BimSearch
+{
+  public:
+    /**
+     * @param layout DRAM layout providing default targets/candidates
+     * @param planes bit-plane representation of the profiled workload
+     * @param objective entropy-flatness cost (see objective.hh)
+     * @param opts   budget/space knobs; empty targets and zero mask
+     *               default from `layout` as documented above
+     */
+    BimSearch(const AddressLayout &layout, const TracePlanes &planes,
+              FlatnessObjective objective, SearchOptions opts);
+
+    /** Annealed search: best of `restarts` parallel chains. */
+    SearchResult anneal() const;
+
+    /**
+     * Greedy baseline: one hill-climbing chain (temperature 0,
+     * accepting only strict improvements) from the identity state,
+     * with the same move set and iteration budget.
+     */
+    SearchResult greedy() const;
+
+    /** Objective of the identity mapping on these planes. */
+    double identityCost() const;
+
+    /** Resolved target output bits (after layout defaulting). */
+    const std::vector<unsigned> &targets() const { return targets_; }
+
+    /** Resolved candidate tap mask (after layout defaulting). */
+    std::uint64_t candidateMask() const { return mask_; }
+
+  private:
+    struct Chain;
+
+    /** Run one chain from its deterministic per-restart seed. */
+    SearchResult runChain(unsigned restart, bool greedy) const;
+
+    unsigned nbits;
+    std::vector<unsigned> targets_;
+    std::vector<unsigned> candidateBits; ///< set bits of mask_
+    std::uint64_t mask_ = 0;
+    const TracePlanes &planes;
+    FlatnessObjective objective;
+    SearchOptions opts;
+};
+
+} // namespace search
+} // namespace valley
+
+#endif // VALLEY_SEARCH_BIM_SEARCH_HH

@@ -1,0 +1,144 @@
+#include "search/searched_bim.hh"
+
+#include <cstdio>
+#include <string>
+
+#include "harness/profile_cache.hh"
+#include "workloads/profiler.hh"
+
+namespace valley {
+namespace search {
+
+FlatnessObjective
+defaultObjective(const AddressLayout &layout,
+                 const std::vector<unsigned> &targets)
+{
+    FlatnessObjective obj;
+    std::uint64_t channel_mask = 0;
+    for (unsigned b : layout.channelBits())
+        channel_mask |= std::uint64_t{1} << b;
+    obj.targetWeights.reserve(targets.size());
+    for (unsigned t : targets)
+        obj.targetWeights.push_back(((channel_mask >> t) & 1) ? 2.0
+                                                              : 1.0);
+    return obj;
+}
+
+FlatnessObjective
+defaultObjective(const AddressLayout &layout)
+{
+    return defaultObjective(layout, layout.randomizeTargets());
+}
+
+std::string
+sbimMapperId(const BitMatrix &bim, std::uint64_t seed)
+{
+    // FNV-1a over the row masks: cheap, stable, and sensitive to any
+    // row change, so distinct matrices get distinct cache ids.
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    for (unsigned r = 0; r < bim.size(); ++r) {
+        std::uint64_t row = bim.row(r);
+        for (unsigned byte = 0; byte < 8; ++byte) {
+            h ^= (row >> (8 * byte)) & 0xFF;
+            h *= 0x100000001B3ull;
+        }
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "SBIM-%llu-%016llx",
+                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+SearchOptions
+defaultOptions(const AddressLayout &layout)
+{
+    SearchOptions opts;
+    opts.targets = layout.randomizeTargets();
+    opts.candidateMask = layout.pageMask();
+    return opts;
+}
+
+namespace {
+
+/**
+ * The one shared search pipeline. Both public entry points go
+ * through this, so the matrix fig10 gets from `searchedMapper` and
+ * the profile `searchWorkload` stores under that matrix's hash can
+ * never come from diverging copies of the setup code.
+ */
+struct Pipeline
+{
+    TracePlanes planes;
+    BimSearch searcher;
+
+    Pipeline(const Workload &workload, const AddressLayout &layout,
+             const SearchOptions &opts)
+        : planes(workload, PlaneOptions{layout.addrBits, opts.threads}),
+          searcher(layout, planes,
+                   defaultObjective(layout, opts.targets), opts)
+    {
+    }
+};
+
+/** Fill empty targets / zero mask from the layout. */
+void
+defaultFromLayout(SearchOptions &opts, const AddressLayout &layout)
+{
+    if (opts.targets.empty())
+        opts.targets = layout.randomizeTargets();
+    if (opts.candidateMask == 0)
+        opts.candidateMask = layout.pageMask();
+}
+
+} // namespace
+
+WorkloadSearchResult
+searchWorkload(const Workload &workload, const AddressLayout &layout,
+               SearchOptions opts, double scale)
+{
+    defaultFromLayout(opts, layout);
+
+    WorkloadSearchResult out;
+
+    // Identity profile through the on-disk cache: repeated service
+    // invocations (and the Fig. 5/10 benches) share the computation.
+    workloads::ProfileOptions po;
+    po.window = opts.window;
+    po.numBits = layout.addrBits;
+    po.metric = opts.metric;
+    po.threads = opts.threads;
+    out.identityProfile =
+        harness::profileWorkloadCached(workload, po, scale, "");
+
+    const Pipeline pipe(workload, layout, opts);
+    out.annealed = pipe.searcher.anneal();
+    out.greedyBaseline = pipe.searcher.greedy();
+
+    out.searchedProfile = pipe.planes.profileFor(
+        out.annealed.bim, opts.window, opts.metric);
+    // Persist under the matrix-hashed SBIM mapper id so Fig. 10-style
+    // benches can chart this exact searched mapping without
+    // re-profiling (and never collide with a different-budget run).
+    harness::profileCacheStore(
+        harness::profileCacheKey(
+            workload.info().abbrev,
+            sbimMapperId(out.annealed.bim, opts.seed), po.window,
+            po.numBits, po.metric, scale),
+        out.searchedProfile);
+    return out;
+}
+
+std::unique_ptr<AddressMapper>
+searchedMapper(const AddressLayout &layout, const Workload &workload,
+               const SearchOptions &opts_in)
+{
+    SearchOptions opts = opts_in;
+    defaultFromLayout(opts, layout);
+    const Pipeline pipe(workload, layout, opts);
+    SearchResult best = pipe.searcher.anneal();
+    return mapping::makeCustom("SBIM", layout, std::move(best.bim));
+}
+
+} // namespace search
+} // namespace valley

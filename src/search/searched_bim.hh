@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Front-end glue of the mapping service: one-call search over a
+ * workload, profile-cache integration, and the `AddressMapper`
+ * wrapping used by the harness' SBIM scheme and `tools/valley_search`.
+ */
+
+#ifndef VALLEY_SEARCH_SEARCHED_BIM_HH
+#define VALLEY_SEARCH_SEARCHED_BIM_HH
+
+#include <memory>
+
+#include "mapping/address_mapper.hh"
+#include "search/bim_search.hh"
+
+namespace valley {
+namespace search {
+
+/**
+ * Default entropy-flatness objective for the given target bits:
+ * uniform weights over the bank bits, 2x weight on the channel (and
+ * vault) bits — channel parallelism feeds both the NoC and the DRAM
+ * buses (Figs. 13-14), so a searched BIM should fill those bits
+ * first. The weights align index-for-index with `targets`.
+ */
+FlatnessObjective defaultObjective(const AddressLayout &layout,
+                                   const std::vector<unsigned> &targets);
+
+/** Overload defaulting to `layout.randomizeTargets()`. */
+FlatnessObjective defaultObjective(const AddressLayout &layout);
+
+/**
+ * Profile-cache mapper id of a searched BIM: "SBIM-<seed>-<hash of
+ * the matrix rows>". The hash makes the id unique per *matrix*, as
+ * `profileCacheKey` requires — two searches with the same seed but
+ * different budgets (or target sets) produce different ids.
+ */
+std::string sbimMapperId(const BitMatrix &bim, std::uint64_t seed);
+
+/**
+ * Default search options for a layout: targets =
+ * `randomizeTargets()`, candidates = `pageMask()` (the PAE input
+ * restriction), window/seed/budget left at `SearchOptions` defaults.
+ */
+SearchOptions defaultOptions(const AddressLayout &layout);
+
+/** Everything the CLI reports about one workload search. */
+struct WorkloadSearchResult
+{
+    SearchResult annealed;          ///< best annealed matrix
+    SearchResult greedyBaseline;    ///< hill-climbing baseline
+    EntropyProfile identityProfile; ///< workload profile under BASE
+    EntropyProfile searchedProfile; ///< profile under `annealed.bim`
+};
+
+/**
+ * Run the full search pipeline over one workload: profile it under
+ * the identity mapping through the on-disk profile cache
+ * (`harness::profileWorkloadCached`; `scale` keys the cache entry),
+ * build `TracePlanes`, anneal plus the greedy baseline, and store the
+ * searched profile back into the profile cache under
+ * `sbimMapperId(...)` so figure benches reuse it. Empty `opts.targets` and
+ * a zero `opts.candidateMask` default from the layout; the objective
+ * is `defaultObjective(layout)`.
+ */
+WorkloadSearchResult searchWorkload(const Workload &workload,
+                                    const AddressLayout &layout,
+                                    SearchOptions opts, double scale);
+
+/**
+ * Search a workload and wrap the best matrix as an `AddressMapper`
+ * named "SBIM" — the profile-driven counterpart of
+ * `mapping::makeScheme`. Deterministic in (workload, layout, opts).
+ */
+std::unique_ptr<AddressMapper> searchedMapper(
+    const AddressLayout &layout, const Workload &workload,
+    const SearchOptions &opts);
+
+} // namespace search
+} // namespace valley
+
+#endif // VALLEY_SEARCH_SEARCHED_BIM_HH

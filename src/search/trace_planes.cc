@@ -1,0 +1,186 @@
+#include "search/trace_planes.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+#include "common/bitops.hh"
+#include "common/thread_pool.hh"
+
+namespace valley {
+namespace search {
+
+namespace {
+
+/**
+ * Extract the bit planes of one TB: buffer 64 addresses, transpose
+ * them with `bits::transpose64`, and append lane `b` to plane `b`.
+ * The tail block is zero-padded, so pad lanes carry no one-bits and
+ * the popcount-derived one-counts stay exact at any stream length.
+ */
+void
+extractTb(const Kernel &kernel, TbId tb, unsigned nbits,
+          std::uint64_t &requests_out,
+          std::uint32_t &words_out, std::vector<std::uint64_t> &planes)
+{
+    const TbTrace trace = kernel.trace(tb);
+    const std::uint64_t requests = trace.requestCount();
+    const std::uint32_t words =
+        static_cast<std::uint32_t>((requests + 63) / 64);
+    planes.assign(static_cast<std::size_t>(nbits) * words, 0);
+
+    std::uint64_t block[64];
+    unsigned fill = 0;
+    std::uint32_t word = 0;
+    const auto flush = [&] {
+        std::fill(block + fill, block + 64, 0);
+        bits::transpose64(block);
+        // After the transpose, bit r of block[c] is bit c of address
+        // r: block[c] is the 64-request lane of address bit c.
+        for (unsigned b = 0; b < nbits; ++b)
+            planes[static_cast<std::size_t>(b) * words + word] =
+                block[b];
+        ++word;
+        fill = 0;
+    };
+    for (const WarpTrace &w : trace.warps)
+        for (const MemInstr &instr : w.instrs)
+            for (Addr a : instr.lines) {
+                block[fill] = a;
+                if (++fill == 64)
+                    flush();
+            }
+    if (fill > 0)
+        flush();
+    assert(word == words);
+    requests_out = requests;
+    words_out = words;
+}
+
+/** TB-range task granularity, matching workloads/profiler.cc. */
+constexpr unsigned kTbsPerTask = 256;
+
+} // namespace
+
+TracePlanes::TracePlanes(const Workload &workload,
+                         const PlaneOptions &opts)
+    : nbits(opts.numBits)
+{
+    if (nbits == 0 || nbits > 64)
+        throw std::invalid_argument("TracePlanes: bad bit width");
+
+    const auto &ks = workload.kernels();
+    kernels.resize(ks.size());
+    std::size_t tb_tasks = 0;
+    for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+        kernels[ki].tbs.resize(ks[ki].numTbs());
+        tb_tasks += (ks[ki].numTbs() + kTbsPerTask - 1) / kTbsPerTask;
+    }
+
+    const auto extractRange = [&](std::size_t ki, TbId lo, TbId hi) {
+        for (TbId tb = lo; tb < hi; ++tb) {
+            TbPlanes &slot = kernels[ki].tbs[tb];
+            extractTb(ks[ki], tb, nbits, slot.requests, slot.words,
+                      slot.bits);
+        }
+    };
+
+    const unsigned threads = opts.threads == 0
+                                 ? ThreadPool::defaultThreads()
+                                 : opts.threads;
+    if (threads <= 1 || tb_tasks <= 1) {
+        for (std::size_t ki = 0; ki < ks.size(); ++ki)
+            extractRange(ki, 0, ks[ki].numTbs());
+    } else {
+        ThreadPool pool(static_cast<unsigned>(
+            std::min<std::size_t>(threads, tb_tasks)));
+        for (std::size_t ki = 0; ki < ks.size(); ++ki)
+            for (TbId lo = 0; lo < ks[ki].numTbs(); lo += kTbsPerTask)
+                pool.submit([&extractRange, &ks, ki, lo] {
+                    extractRange(ki, lo,
+                                 std::min<TbId>(lo + kTbsPerTask,
+                                                ks[ki].numTbs()));
+                });
+        pool.run();
+    }
+
+    for (KernelPlanes &k : kernels) {
+        for (const TbPlanes &tb : k.tbs)
+            k.requests += tb.requests;
+        requests_ += k.requests;
+    }
+}
+
+double
+TracePlanes::tbBvr(const TbPlanes &tb, std::uint64_t row_mask)
+{
+    if (tb.requests == 0)
+        return 0.0;
+    const std::uint32_t words = tb.words;
+    const std::uint64_t *data = tb.bits.data();
+    std::uint64_t ones = 0;
+    // XOR the tapped input planes word-by-word; the popcount of the
+    // combined lane is the output bit's one-count over 64 requests.
+    for (std::uint32_t w = 0; w < words; ++w) {
+        std::uint64_t x = 0;
+        for (std::uint64_t m = row_mask; m != 0; m &= m - 1) {
+            const unsigned b =
+                static_cast<unsigned>(std::countr_zero(m));
+            x ^= data[static_cast<std::size_t>(b) * words + w];
+        }
+        ones += static_cast<std::uint64_t>(std::popcount(x));
+    }
+    return static_cast<double>(ones) /
+           static_cast<double>(tb.requests);
+}
+
+double
+TracePlanes::rowEntropy(std::uint64_t row_mask, unsigned window,
+                        EntropyMetric metric) const
+{
+    assert((row_mask & ~bits::mask(nbits)) == 0 &&
+           "row taps must be tracked bits");
+    // Mirror profileWorkload: per-kernel window entropy of the BVR
+    // series, then EntropyProfile::combine's weighted average — same
+    // operations in the same order, so the result is bit-identical to
+    // the profiler's value for this output bit.
+    std::uint64_t total = 0;
+    for (const KernelPlanes &k : kernels)
+        total += k.requests;
+    if (total == 0)
+        return 0.0;
+
+    double combined = 0.0;
+    std::vector<double> series;
+    for (const KernelPlanes &k : kernels) {
+        series.resize(k.tbs.size());
+        for (std::size_t t = 0; t < k.tbs.size(); ++t)
+            series[t] = tbBvr(k.tbs[t], row_mask);
+        const double e = metric == EntropyMetric::BvrDistribution
+                             ? windowEntropy(series, window)
+                             : windowBitEntropy(series, window);
+        const double w = static_cast<double>(k.requests) /
+                         static_cast<double>(total);
+        combined += w * e;
+    }
+    return combined;
+}
+
+EntropyProfile
+TracePlanes::profileFor(const BitMatrix &m, unsigned window,
+                        EntropyMetric metric) const
+{
+    if (m.size() != nbits)
+        throw std::invalid_argument(
+            "TracePlanes: matrix size != tracked bits");
+    EntropyProfile out;
+    out.weight = requests_;
+    out.perBit.resize(nbits);
+    for (unsigned r = 0; r < nbits; ++r)
+        out.perBit[r] = rowEntropy(m.row(r), window, metric);
+    return out;
+}
+
+} // namespace search
+} // namespace valley

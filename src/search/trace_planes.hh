@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Bit-plane trace representation for fast BIM-candidate scoring.
+ *
+ * The BIM search loop (Section IV-B's design-time methodology turned
+ * into `search::BimSearch`) must score thousands of candidate
+ * matrices against one workload. Re-profiling the workload per
+ * candidate — even through the bit-sliced accumulator — would re-read
+ * every trace address each time. `TracePlanes` instead streams each
+ * TB's coalesced request addresses through `bits::transpose64`
+ * *once*, keeping the transposed lanes: for every tracked address bit
+ * `b` and every TB, one packed 64-requests-per-word bit plane.
+ *
+ * Because a BIM output bit is the XOR of the input bits its row taps,
+ * the mapped output plane is just the XOR of the tapped input planes,
+ * and its per-TB Bit Value Ratio is one popcount pass — no address is
+ * ever touched again. A candidate row is scored in
+ * O(taps x requests / 64 + #TBs) instead of O(requests x bits).
+ *
+ * The arithmetic mirrors `workloads::profileWorkload` exactly: the
+ * per-TB one-counts are the same integers the scalar and sliced
+ * accumulators produce, the BVR division is the same, and the window
+ * metric and kernel combination reuse `entropy/window_entropy.hh` —
+ * so `profileFor` is bit-identical to profiling the workload under
+ * the same matrix (asserted in `tests/bim_search_test.cc`).
+ */
+
+#ifndef VALLEY_SEARCH_TRACE_PLANES_HH
+#define VALLEY_SEARCH_TRACE_PLANES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bim/bit_matrix.hh"
+#include "entropy/window_entropy.hh"
+#include "workloads/workload.hh"
+
+namespace valley {
+namespace search {
+
+/** Knobs for building a workload's bit planes. */
+struct PlaneOptions
+{
+    unsigned numBits = 30; ///< physical address bits tracked
+    /**
+     * Worker threads for plane extraction: 1 = serial, 0 = one per
+     * hardware thread. Every TB writes only its own preallocated
+     * plane slot, so the result is bit-identical at any thread count.
+     */
+    unsigned threads = 0;
+};
+
+/**
+ * Transposed per-TB request planes of one workload.
+ *
+ * Immutable after construction; `rowEntropy`/`profileFor` are const
+ * and touch no shared mutable state, so one instance can be shared by
+ * concurrent search restarts.
+ */
+class TracePlanes
+{
+  public:
+    /** Generate and transpose every TB trace of `workload`. */
+    TracePlanes(const Workload &workload, const PlaneOptions &opts);
+
+    /** Tracked address-bit width (matrix size the planes can score). */
+    unsigned numBits() const { return nbits; }
+
+    /** Total coalesced requests across all kernels. */
+    std::uint64_t totalRequests() const { return requests_; }
+
+    /** Number of kernels represented. */
+    std::size_t numKernels() const { return kernels.size(); }
+
+    /**
+     * Window entropy of the output bit produced by XOR-combining the
+     * input bits selected by `row_mask` (a `BitMatrix` row), averaged
+     * across kernels weighted by request count — exactly the value
+     * `profileWorkload` would report for that output bit under a
+     * matrix containing this row. Bits of `row_mask` at or above
+     * `numBits()` must be clear.
+     */
+    double rowEntropy(std::uint64_t row_mask, unsigned window,
+                      EntropyMetric metric) const;
+
+    /**
+     * Full workload profile under matrix `m`: per output bit `r`,
+     * `rowEntropy(m.row(r))`. Bit-identical to
+     * `profileWorkload(workload, opts with mapper = m)`.
+     */
+    EntropyProfile profileFor(const BitMatrix &m, unsigned window,
+                              EntropyMetric metric) const;
+
+  private:
+    /** One TB's transposed trace: planes[b * words + w]. */
+    struct TbPlanes
+    {
+        std::uint64_t requests = 0;
+        std::uint32_t words = 0; ///< 64-request words per bit plane
+        std::vector<std::uint64_t> bits;
+    };
+
+    /** One kernel's TBs, ordered by TB id. */
+    struct KernelPlanes
+    {
+        std::vector<TbPlanes> tbs;
+        std::uint64_t requests = 0; ///< combine() weight
+    };
+
+    /** BVR of `row_mask`'s output bit for one TB. */
+    static double tbBvr(const TbPlanes &tb, std::uint64_t row_mask);
+
+    unsigned nbits;
+    std::uint64_t requests_ = 0;
+    std::vector<KernelPlanes> kernels;
+};
+
+} // namespace search
+} // namespace valley
+
+#endif // VALLEY_SEARCH_TRACE_PLANES_HH

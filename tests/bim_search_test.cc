@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Tests for the profile-driven BIM search (`src/search/`): the
+ * bit-plane evaluator must be bit-identical to the profiler, every
+ * searched matrix must be invertible with identity non-target rows,
+ * results must be deterministic for a fixed seed and bit-identical
+ * between serial and parallel restarts, and the search must strictly
+ * lower the entropy-flatness objective against the identity mapping
+ * on valley workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bim/bim_builder.hh"
+#include "common/rng.hh"
+#include "search/searched_bim.hh"
+#include "workloads/profiler.hh"
+
+using namespace valley;
+using namespace valley::search;
+
+namespace {
+
+constexpr double kScale = 0.25;
+
+AddressLayout
+gddr5()
+{
+    return AddressLayout::hynixGddr5();
+}
+
+/** Planes + profiler options that must describe the same profile. */
+struct PlanesFixture
+{
+    std::unique_ptr<Workload> wl;
+    std::unique_ptr<TracePlanes> planes;
+    workloads::ProfileOptions po;
+
+    explicit PlanesFixture(const std::string &abbrev,
+                   EntropyMetric metric = EntropyMetric::BitProbability)
+    {
+        wl = workloads::make(abbrev, kScale);
+        po.metric = metric;
+        po.threads = 1;
+        PlaneOptions popts;
+        popts.numBits = po.numBits;
+        popts.threads = 1;
+        planes = std::make_unique<TracePlanes>(*wl, popts);
+    }
+};
+
+} // namespace
+
+TEST(TracePlanes, IdentityProfileMatchesProfilerBitExactly)
+{
+    for (const char *abbrev : {"MT", "NN"}) {
+        PlanesFixture s(abbrev);
+        const EntropyProfile direct =
+            workloads::profileWorkload(*s.wl, s.po);
+        const EntropyProfile planes = s.planes->profileFor(
+            BitMatrix::identity(s.po.numBits), s.po.window,
+            s.po.metric);
+        ASSERT_EQ(direct.perBit.size(), planes.perBit.size());
+        EXPECT_EQ(direct.weight, planes.weight);
+        for (std::size_t b = 0; b < direct.perBit.size(); ++b)
+            EXPECT_EQ(direct.perBit[b], planes.perBit[b])
+                << abbrev << " bit " << b;
+    }
+}
+
+TEST(TracePlanes, MappedProfileMatchesProfilerBitExactly)
+{
+    // Under a non-trivial BIM the planes path XORs input planes while
+    // the profiler maps every address; same integers must fall out.
+    PlanesFixture s("MT");
+    const auto mapper =
+        mapping::makeScheme(Scheme::PAE, gddr5(), /*seed=*/1);
+    workloads::ProfileOptions po = s.po;
+    po.mapper = mapper.get();
+    const EntropyProfile direct =
+        workloads::profileWorkload(*s.wl, po);
+    const EntropyProfile planes = s.planes->profileFor(
+        mapper->matrix(), po.window, po.metric);
+    ASSERT_EQ(direct.perBit.size(), planes.perBit.size());
+    for (std::size_t b = 0; b < direct.perBit.size(); ++b)
+        EXPECT_EQ(direct.perBit[b], planes.perBit[b]) << "bit " << b;
+}
+
+TEST(TracePlanes, MatchesProfilerUnderBvrDistributionMetric)
+{
+    PlanesFixture s("LU", EntropyMetric::BvrDistribution);
+    const EntropyProfile direct =
+        workloads::profileWorkload(*s.wl, s.po);
+    const EntropyProfile planes = s.planes->profileFor(
+        BitMatrix::identity(s.po.numBits), s.po.window, s.po.metric);
+    for (std::size_t b = 0; b < direct.perBit.size(); ++b)
+        EXPECT_EQ(direct.perBit[b], planes.perBit[b]) << "bit " << b;
+}
+
+TEST(TracePlanes, ParallelExtractionBitIdenticalToSerial)
+{
+    const auto wl = workloads::make("LU", kScale);
+    PlaneOptions serial{30, 1};
+    PlaneOptions parallel{30, 3};
+    const TracePlanes a(*wl, serial);
+    const TracePlanes b(*wl, parallel);
+    const BitMatrix id = BitMatrix::identity(30);
+    const EntropyProfile pa = a.profileFor(id, 12,
+                                           EntropyMetric::BitProbability);
+    const EntropyProfile pb = b.profileFor(id, 12,
+                                           EntropyMetric::BitProbability);
+    for (std::size_t bit = 0; bit < pa.perBit.size(); ++bit)
+        EXPECT_EQ(pa.perBit[bit], pb.perBit[bit]);
+}
+
+TEST(FlatnessObjective, RewardsFlatHighEntropy)
+{
+    FlatnessObjective obj;
+    const std::vector<double> valley = {0.1, 0.1, 0.9, 0.9, 0.9, 0.9};
+    const std::vector<double> flat = {0.95, 0.95, 0.95,
+                                      0.95, 0.95, 0.95};
+    EXPECT_LT(obj.cost(flat, 6), obj.cost(valley, 6));
+    // Gate regularizer breaks entropy ties toward cheaper hardware.
+    EXPECT_LT(obj.cost(flat, 3), obj.cost(flat, 12));
+    // Identity (entropy-free targets, no gates) is the worst case.
+    const std::vector<double> dead(6, 0.0);
+    EXPECT_NEAR(obj.cost(dead, 0),
+                obj.meanWeight + obj.minWeight, 1e-12);
+}
+
+TEST(BimSearch, SearchedMatrixInvertibleWithIdentityNonTargetRows)
+{
+    PlanesFixture s("MT");
+    const AddressLayout layout = gddr5();
+    SearchOptions opts = defaultOptions(layout);
+    opts.threads = 1;
+    opts.restarts = 2;
+    opts.iterations = 300;
+    const BimSearch searcher(layout, *s.planes,
+                             defaultObjective(layout), opts);
+    const SearchResult r = searcher.anneal();
+
+    EXPECT_TRUE(r.bim.invertible());
+    // The search must only rewrite the channel/bank target rows —
+    // everything else stays identity (the invariant documented in
+    // bim_search.hh).
+    std::vector<bool> is_target(layout.addrBits, false);
+    for (unsigned t : searcher.targets())
+        is_target[t] = true;
+    for (unsigned row = 0; row < layout.addrBits; ++row)
+        if (!is_target[row])
+            EXPECT_TRUE(r.bim.rowIsIdentity(row)) << "row " << row;
+    // Target rows only tap candidate (page-mask) bits.
+    for (unsigned t : searcher.targets())
+        EXPECT_EQ(r.bim.row(t) & ~searcher.candidateMask(), 0u);
+}
+
+TEST(BimSearch, DeterministicForFixedSeed)
+{
+    PlanesFixture s("MT");
+    const AddressLayout layout = gddr5();
+    SearchOptions opts = defaultOptions(layout);
+    opts.threads = 1;
+    opts.restarts = 2;
+    opts.iterations = 300;
+    const BimSearch searcher(layout, *s.planes,
+                             defaultObjective(layout), opts);
+    const SearchResult a = searcher.anneal();
+    const SearchResult b = searcher.anneal();
+    EXPECT_TRUE(a.bim == b.bim);
+    EXPECT_EQ(a.cost, b.cost);
+    EXPECT_EQ(a.stats.evaluations, b.stats.evaluations);
+
+    SearchOptions other = opts;
+    other.seed = 7;
+    const BimSearch searcher7(layout, *s.planes,
+                              defaultObjective(layout), other);
+    const SearchResult c = searcher7.anneal();
+    // Different seeds explore different chains (costs may tie, the
+    // accept/reject trajectory must not).
+    EXPECT_NE(a.stats.accepted, c.stats.accepted);
+}
+
+TEST(BimSearch, ParallelRestartsBitIdenticalToSerial)
+{
+    PlanesFixture s("LU");
+    const AddressLayout layout = gddr5();
+    SearchOptions serial = defaultOptions(layout);
+    serial.restarts = 4;
+    serial.iterations = 200;
+    serial.threads = 1;
+    SearchOptions parallel = serial;
+    parallel.threads = 3;
+    const BimSearch ss(layout, *s.planes, defaultObjective(layout),
+                       serial);
+    const BimSearch sp(layout, *s.planes, defaultObjective(layout),
+                       parallel);
+    const SearchResult a = ss.anneal();
+    const SearchResult b = sp.anneal();
+    EXPECT_TRUE(a.bim == b.bim);
+    EXPECT_EQ(a.cost, b.cost);
+    EXPECT_EQ(a.identityCost, b.identityCost);
+    EXPECT_EQ(a.bestRestart, b.bestRestart);
+    EXPECT_EQ(a.stats.evaluations, b.stats.evaluations);
+    EXPECT_EQ(a.stats.accepted, b.stats.accepted);
+}
+
+TEST(BimSearch, StrictlyBeatsIdentityOnValleyWorkloads)
+{
+    // The acceptance criterion: on entropy-valley workloads both the
+    // annealed search and the greedy baseline must strictly lower the
+    // flatness objective vs the identity (BASE) mapping.
+    const AddressLayout layout = gddr5();
+    for (const char *abbrev : {"MT", "LU"}) {
+        PlanesFixture s(abbrev);
+        SearchOptions opts = defaultOptions(layout);
+        opts.threads = 1;
+        opts.restarts = 2;
+        opts.iterations = 400;
+        const BimSearch searcher(layout, *s.planes,
+                                 defaultObjective(layout), opts);
+        const SearchResult annealed = searcher.anneal();
+        const SearchResult greedy = searcher.greedy();
+        EXPECT_LT(annealed.cost, annealed.identityCost) << abbrev;
+        EXPECT_LT(greedy.cost, greedy.identityCost) << abbrev;
+        EXPECT_GT(annealed.gain(), 0.0) << abbrev;
+    }
+}
+
+TEST(BimSearch, RejectsTargetsOutsideCandidateMask)
+{
+    PlanesFixture s("MT");
+    const AddressLayout layout = gddr5();
+    SearchOptions opts = defaultOptions(layout);
+    opts.candidateMask = 1ull << 20; // excludes the channel bits
+    EXPECT_THROW(BimSearch(layout, *s.planes,
+                           defaultObjective(layout), opts),
+                 std::invalid_argument);
+}
+
+TEST(SearchedMapper, WrapsInvertibleBimNamedSbim)
+{
+    PlanesFixture s("MT");
+    const AddressLayout layout = gddr5();
+    SearchOptions opts = defaultOptions(layout);
+    opts.threads = 1;
+    opts.restarts = 2;
+    opts.iterations = 300;
+    const auto mapper = search::searchedMapper(layout, *s.wl, opts);
+    EXPECT_EQ(mapper->name(), "SBIM");
+    EXPECT_TRUE(mapper->matrix().invertible());
+    // One-to-one over a sample of addresses via the inverse matrix.
+    const auto inv = mapper->matrix().inverse();
+    ASSERT_TRUE(inv.has_value());
+    XorShiftRng rng(99);
+    for (int i = 0; i < 1000; ++i) {
+        const Addr a = rng.next() & ((1ull << 30) - 1);
+        EXPECT_EQ(inv->apply(mapper->map(a)), a);
+    }
+}
+
+TEST(SearchedMapper, MakeSchemeRefusesSbim)
+{
+    EXPECT_THROW(mapping::makeScheme(Scheme::SBIM, gddr5()),
+                 std::invalid_argument);
+    EXPECT_EQ(schemeName(Scheme::SBIM), "SBIM");
+    // The paper's presentation order stays the six paper schemes.
+    EXPECT_EQ(allSchemes().size(), 6u);
+}

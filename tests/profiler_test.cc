@@ -9,9 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
 
 #include "harness/profile_cache.hh"
+#include "harness/result_cache.hh"
 #include "workloads/profiler.hh"
 
 using namespace valley;
@@ -165,7 +167,8 @@ TEST(ProfileCache, DiskFormatParsesAtFullPrecision)
     const std::string key = harness::profileCacheKey(
         "DISKTEST", "X", 12, 3, EntropyMetric::BitProbability, 1.0);
     {
-        std::ofstream out(harness::kProfileCacheFile, std::ios::app);
+        std::filesystem::create_directories(harness::cacheDir());
+        std::ofstream out(harness::profileCachePath(), std::ios::app);
         out.precision(17);
         out << key << '|' << 123456789 << " 3 " << 1.0 / 3.0 << ' '
             << 0.91829583405448945 << " 5e-324\n";

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Docs lint: fail if `valley_search --help` drifts from the usage
+# block README.md pins between the valley-search-help markers. Run by
+# CI (docs-lint job) and usable locally:
+#
+#   tools/check_help_drift.sh [path/to/valley_search]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+bin="${1:-$repo/build/valley_search}"
+
+if [[ ! -x "$bin" ]]; then
+    echo "check_help_drift: $bin not built (cmake --build build --target valley_search)" >&2
+    exit 1
+fi
+
+expected="$(mktemp)"
+actual="$(mktemp)"
+trap 'rm -f "$expected" "$actual"' EXIT
+
+# Extract the fenced block between the markers, dropping the fences.
+awk '/^<!-- valley-search-help -->$/{f=1;next} /^<!-- \/valley-search-help -->$/{f=0} f' \
+    "$repo/README.md" | sed '/^```/d' > "$expected"
+
+if [[ ! -s "$expected" ]]; then
+    echo "check_help_drift: no valley-search-help block found in README.md" >&2
+    exit 1
+fi
+
+"$bin" --help > "$actual"
+
+if ! diff -u "$expected" "$actual"; then
+    echo >&2
+    echo "check_help_drift: README.md usage block is out of date with" >&2
+    echo "valley_search --help; update the block between the" >&2
+    echo "valley-search-help markers." >&2
+    exit 1
+fi
+echo "check_help_drift: README usage block matches valley_search --help"

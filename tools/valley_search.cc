@@ -1,0 +1,324 @@
+/**
+ * @file
+ * `valley_search` — the long-running "mapping service" front-end of
+ * the profile-driven BIM search (ROADMAP item; paper Section IV-B as
+ * an online tool).
+ *
+ * Reads a workload trace (regenerated from its Table II abbreviation)
+ * or, on repeat invocations, the on-disk profile cache; searches for
+ * an invertible BIM that flattens the workload's entropy valley; and
+ * emits the result as JSON: the matrix rows, the cost breakdown
+ * against the identity and greedy baselines, and the compiled 8x256
+ * lookup table in exactly the form the simulator's
+ * `CompiledTransform` fast path consumes.
+ *
+ * The --help text below is pinned by README.md's usage block; CI
+ * fails if the two drift (`tools/check_help_drift.sh`).
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bim/compiled_transform.hh"
+#include "common/table.hh"
+#include "search/searched_bim.hh"
+#include "workloads/workload.hh"
+
+using namespace valley;
+
+namespace {
+
+const char *kHelp =
+    R"(valley_search — profile-driven BIM search (the "mapping service")
+
+Searches for an invertible bit-matrix (BIM) address mapping that
+flattens a workload's entropy valley: simulated annealing plus a
+greedy baseline over the workload's bit-plane trace profile, scored
+by the entropy-flatness objective (paper Section IV-B).
+
+Usage: valley_search --workload ABBREV [options]
+
+Options:
+  --workload A    Table II benchmark abbreviation (MT, LU, GS, NW,
+                  LPS, SC, SRAD2, DWT2D, HS, SP, FWT, NN, SPMV, LM,
+                  MUM, BFS); required unless --list is given
+  --list          print the known workloads and exit
+  --scale S       problem-size scale in (0, 1]; default 0.25
+  --layout L      DRAM layout: gddr5 (default) or 3d
+  --seed N        search seed (the "BIM-N" of Fig. 19); default 1
+  --restarts N    annealing restarts; default 4
+  --iters N       moves per restart; default 1200
+  --window W      TB window w (#SMs, Section III-A); default 12
+  --metric M      window metric: bitprob (default) or bvrdist
+  --threads N     worker threads (0 = all cores, 1 = serial);
+                  default 0; results are identical at any count
+  --out FILE      write the searched BIM as JSON (matrix rows, cost
+                  breakdown, and the compiled 8x256 LUT)
+  --help          print this help and exit
+
+Environment:
+  VALLEY_CACHE=0       disable the on-disk profile/result caches
+  VALLEY_CACHE_DIR=D   cache directory (default: ./cache)
+
+Exit status: 0 if the searched BIM strictly beats the identity
+mapping's entropy-flatness objective, 2 otherwise, 1 on usage errors.
+)";
+
+struct CliOptions
+{
+    std::string workload;
+    std::string out;
+    double scale = 0.25;
+    bool use3d = false;
+    bool list = false;
+    search::SearchOptions search;
+};
+
+[[noreturn]] void
+usageError(const std::string &msg)
+{
+    std::fprintf(stderr, "valley_search: %s\n(try --help)\n",
+                 msg.c_str());
+    std::exit(1);
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions o;
+    const auto need = [&](int &i, const char *flag) -> std::string {
+        if (i + 1 >= argc)
+            usageError(std::string(flag) + " needs a value");
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            std::fputs(kHelp, stdout);
+            std::exit(0);
+        } else if (a == "--list") {
+            o.list = true;
+        } else if (a == "--workload") {
+            o.workload = need(i, "--workload");
+        } else if (a == "--scale") {
+            o.scale = std::atof(need(i, "--scale").c_str());
+            if (o.scale <= 0.0 || o.scale > 1.0)
+                usageError("--scale must be in (0, 1]");
+        } else if (a == "--layout") {
+            const std::string l = need(i, "--layout");
+            if (l == "gddr5")
+                o.use3d = false;
+            else if (l == "3d")
+                o.use3d = true;
+            else
+                usageError("--layout must be gddr5 or 3d");
+        } else if (a == "--seed") {
+            o.search.seed = std::strtoull(
+                need(i, "--seed").c_str(), nullptr, 10);
+        } else if (a == "--restarts") {
+            o.search.restarts = static_cast<unsigned>(
+                std::atoi(need(i, "--restarts").c_str()));
+        } else if (a == "--iters") {
+            o.search.iterations = static_cast<unsigned>(
+                std::atoi(need(i, "--iters").c_str()));
+        } else if (a == "--window") {
+            o.search.window = static_cast<unsigned>(
+                std::atoi(need(i, "--window").c_str()));
+            if (o.search.window == 0)
+                usageError("--window must be >= 1");
+        } else if (a == "--metric") {
+            const std::string m = need(i, "--metric");
+            if (m == "bitprob")
+                o.search.metric = EntropyMetric::BitProbability;
+            else if (m == "bvrdist")
+                o.search.metric = EntropyMetric::BvrDistribution;
+            else
+                usageError("--metric must be bitprob or bvrdist");
+        } else if (a == "--threads") {
+            o.search.threads = static_cast<unsigned>(
+                std::atoi(need(i, "--threads").c_str()));
+        } else if (a == "--out") {
+            o.out = need(i, "--out");
+        } else {
+            usageError("unknown option " + a);
+        }
+    }
+    return o;
+}
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%" PRIx64, v);
+    return buf;
+}
+
+/**
+ * Emit the search result as JSON; false if the file could not be
+ * written. Hand-rolled: the repo's `bench::JsonEmitter` is flat
+ * key/value only, and the LUT needs nested arrays.
+ */
+bool
+writeJson(const std::string &path, const CliOptions &o,
+          const search::SearchOptions &so,
+          const search::WorkloadSearchResult &r)
+{
+    const BitMatrix &m = r.annealed.bim;
+    const CompiledTransform compiled(m);
+
+    std::ofstream out(path);
+    out.precision(17);
+    out << "{\n";
+    out << "  \"workload\": \"" << o.workload << "\",\n";
+    out << "  \"layout\": \"" << (o.use3d ? "3d" : "gddr5")
+        << "\",\n";
+    out << "  \"scale\": " << o.scale << ",\n";
+    out << "  \"seed\": " << o.search.seed << ",\n";
+    out << "  \"window\": " << o.search.window << ",\n";
+    out << "  \"metric\": \""
+        << (o.search.metric == EntropyMetric::BitProbability
+                ? "bitprob"
+                : "bvrdist")
+        << "\",\n";
+    out << "  \"address_bits\": " << m.size() << ",\n";
+
+    out << "  \"targets\": [";
+    for (std::size_t i = 0; i < so.targets.size(); ++i)
+        out << (i ? ", " : "") << so.targets[i];
+    out << "],\n";
+
+    out << "  \"identity_cost\": " << r.annealed.identityCost
+        << ",\n";
+    out << "  \"greedy_cost\": " << r.greedyBaseline.cost << ",\n";
+    out << "  \"cost\": " << r.annealed.cost << ",\n";
+    out << "  \"gain\": " << r.annealed.gain() << ",\n";
+    out << "  \"target_entropy\": [";
+    for (std::size_t i = 0; i < r.annealed.targetEntropy.size(); ++i)
+        out << (i ? ", " : "") << r.annealed.targetEntropy[i];
+    out << "],\n";
+    out << "  \"xor_gates\": " << m.xorGateCount() << ",\n";
+    out << "  \"xor_tree_depth\": " << m.xorTreeDepth() << ",\n";
+    out << "  \"evaluations\": " << r.annealed.stats.evaluations
+        << ",\n";
+
+    // Matrix rows, output bit 0 first: bit c of rows[r] is M[r][c].
+    out << "  \"rows\": [";
+    for (unsigned row = 0; row < m.size(); ++row)
+        out << (row ? ", " : "") << '"' << hex64(m.row(row)) << '"';
+    out << "],\n";
+
+    // The byte-sliced LUT: lut[s][v] is the XOR contribution of input
+    // byte slice s holding value v — the exact tables
+    // CompiledTransform::apply reads (8 loads + 7 XORs per address).
+    out << "  \"lut\": [\n";
+    const auto &tables = compiled.tables();
+    for (std::size_t s = 0; s < tables.size(); ++s) {
+        out << "    [";
+        for (std::size_t v = 0; v < tables[s].size(); ++v)
+            out << (v ? ", " : "") << '"' << hex64(tables[s][v])
+                << '"';
+        out << (s + 1 < tables.size() ? "],\n" : "]\n");
+    }
+    out << "  ]\n}\n";
+    out.flush();
+    return out.good();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions o = parseArgs(argc, argv);
+    if (o.list) {
+        for (const std::string &w : workloads::allSet())
+            std::printf("%s\n", w.c_str());
+        return 0;
+    }
+    if (o.workload.empty())
+        usageError("--workload is required");
+
+    std::unique_ptr<Workload> wl;
+    try {
+        wl = workloads::make(o.workload, o.scale);
+    } catch (const std::exception &e) {
+        usageError(e.what());
+    }
+    const AddressLayout layout = o.use3d
+                                     ? AddressLayout::stacked3d()
+                                     : AddressLayout::hynixGddr5();
+
+    search::SearchOptions so = o.search;
+    so.targets = layout.randomizeTargets();
+    so.candidateMask = layout.pageMask();
+
+    std::printf("valley_search: %s (%s, scale %.3g, seed %" PRIu64
+                ", %u restarts x %u iters)\n\n",
+                o.workload.c_str(), o.use3d ? "3d" : "gddr5", o.scale,
+                so.seed, so.restarts, so.iterations);
+
+    const search::WorkloadSearchResult r =
+        search::searchWorkload(*wl, layout, so, o.scale);
+
+    const unsigned hi = layout.addrBits - 1;
+    std::printf("--- BASE (identity) entropy\n%s\n",
+                r.identityProfile.chart(hi, 6).c_str());
+    std::printf("--- SBIM (searched) entropy\n%s\n",
+                r.searchedProfile.chart(hi, 6).c_str());
+
+    TextTable t;
+    t.setHeader({"mapping", "objective", "mean H* targets",
+                 "min H* targets", "XOR gates", "depth"});
+    const std::vector<unsigned> targets = so.targets;
+    const auto addRow = [&](const char *name, double cost,
+                            const EntropyProfile &p,
+                            const BitMatrix *m) {
+        t.addRow({name, TextTable::num(cost, 4),
+                  TextTable::num(p.meanOver(targets), 3),
+                  TextTable::num(p.minOver(targets), 3),
+                  m ? std::to_string(m->xorGateCount()) : "0",
+                  m ? std::to_string(m->xorTreeDepth()) : "0"});
+    };
+    addRow("BASE", r.annealed.identityCost, r.identityProfile,
+           nullptr);
+    t.addRow({"greedy", TextTable::num(r.greedyBaseline.cost, 4), "-",
+              "-",
+              std::to_string(r.greedyBaseline.bim.xorGateCount()),
+              std::to_string(r.greedyBaseline.bim.xorTreeDepth())});
+    addRow("SBIM", r.annealed.cost, r.searchedProfile,
+           &r.annealed.bim);
+    std::printf("%s\n", t.toString().c_str());
+
+    std::printf("search: %" PRIu64 " row evaluations, %" PRIu64
+                " accepted moves, %" PRIu64
+                " singular rejections, best restart %u\n",
+                r.annealed.stats.evaluations,
+                r.annealed.stats.accepted,
+                r.annealed.stats.rejectedSingular,
+                r.annealed.bestRestart);
+
+    if (!o.out.empty()) {
+        if (!writeJson(o.out, o, so, r)) {
+            std::fprintf(stderr, "valley_search: cannot write %s\n",
+                         o.out.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", o.out.c_str());
+    }
+
+    if (r.annealed.cost < r.annealed.identityCost) {
+        std::printf("objective improved: %.4f -> %.4f (gain %.4f)\n",
+                    r.annealed.identityCost, r.annealed.cost,
+                    r.annealed.gain());
+        return 0;
+    }
+    std::printf("objective NOT improved over identity\n");
+    return 2;
+}
