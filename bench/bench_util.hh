@@ -110,6 +110,29 @@ envScale(double fallback = 1.0)
     return fallback;
 }
 
+/**
+ * Workload axis override: VALLEY_WORKLOADS is a ';'-separated list of
+ * Table II abbreviations and/or `synth:` spec strings (';' because
+ * spec parameters use ','). Empty/unset keeps `fallback` — so every
+ * grid bench can be pointed at a synthetic set without recompiling:
+ *
+ *   VALLEY_WORKLOADS='synth:stencil3d;synth:strided' ./build/fig12_speedup
+ */
+inline std::vector<std::string>
+envWorkloads(std::vector<std::string> fallback)
+{
+    const char *s = std::getenv("VALLEY_WORKLOADS");
+    if (!s || !*s)
+        return fallback;
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream in(s);
+    while (std::getline(in, item, ';'))
+        if (!item.empty())
+            out.push_back(item);
+    return out.empty() ? fallback : out;
+}
+
 inline void
 printHeader(const std::string &experiment, const std::string &what)
 {
@@ -126,13 +149,14 @@ printHeader(const std::string &experiment, const std::string &what)
  * The Fig. 11-17 grid: valley set x `schemes`, Table I machine.
  * Benches that add columns (fig12's SBIM) pass an extended scheme
  * list; the shared cells still come from the same result cache.
+ * VALLEY_WORKLOADS swaps the workload axis (synth specs included).
  */
 inline harness::Grid
 valleyGrid(double scale = 1.0,
            std::vector<Scheme> schemes = allSchemes())
 {
     harness::GridOptions o;
-    o.workloads = workloads::valleySet();
+    o.workloads = envWorkloads(workloads::valleySet());
     o.schemes = std::move(schemes);
     o.scale = envScale(scale);
     o.useCache = true;
@@ -145,7 +169,7 @@ inline harness::Grid
 nonValleyGrid(double scale = 1.0)
 {
     harness::GridOptions o;
-    o.workloads = workloads::nonValleySet();
+    o.workloads = envWorkloads(workloads::nonValleySet());
     o.schemes = allSchemes();
     o.scale = envScale(scale);
     o.useCache = true;

@@ -19,11 +19,16 @@ using namespace valley;
 int
 main()
 {
+    // VALLEY_WORKLOADS (first entry) swaps the profiled workload —
+    // synth specs included — so Fig. 10's scheme comparison runs on
+    // any scenario, not only MT.
+    const std::string which =
+        bench::envWorkloads({"MT"}).front();
     bench::printHeader(
         "Figure 10",
-        "MT entropy distribution per address mapping scheme");
+        which + " entropy distribution per address mapping scheme");
     const double scale = bench::envScale();
-    const auto wl = workloads::make("MT", scale);
+    const auto wl = workloads::make(which, scale);
     const AddressLayout layout = AddressLayout::hynixGddr5();
 
     TextTable summary;

@@ -255,6 +255,40 @@ main()
                                  ps.perBit == pp.perBit &&
                                  ps.weight == pp.weight;
         }
+        // Synth scenario generators through the same serial/parallel
+        // identity check: the open-ended workload space must hold the
+        // same determinism contract as the Table II suite.
+        const std::vector<std::string> sworkloads = {
+            "synth:stencil3d", "synth:hash_shuffle,fmb=64,tbs=32"};
+        double synth_serial_sec = 0.0, synth_par_sec = 0.0;
+        bool synth_identical = true;
+        for (const std::string &w : sworkloads) {
+            const auto wl = workloads::make(w, 0.5);
+            start = Clock::now();
+            const EntropyProfile ps =
+                workloads::profileWorkload(*wl, serial_po);
+            synth_serial_sec += secondsSince(start);
+            start = Clock::now();
+            const EntropyProfile pp =
+                workloads::profileWorkload(*wl, parallel_po);
+            synth_par_sec += secondsSince(start);
+            synth_identical = synth_identical &&
+                              ps.perBit == pp.perBit &&
+                              ps.weight == pp.weight;
+        }
+        profiler_ok = profiler_ok && synth_identical;
+        prof_json.field("synth_profile_workloads",
+                        "stencil3d+hash_shuffle");
+        prof_json.field("synth_profile_serial_seconds",
+                        synth_serial_sec);
+        prof_json.field("synth_profile_parallel_seconds",
+                        synth_par_sec);
+        prof_json.field("synth_profiles_identical", synth_identical);
+        std::printf("synth profiles: serial %.2fs, parallel %.2fs, "
+                    "identical=%s\n",
+                    synth_serial_sec, synth_par_sec,
+                    synth_identical ? "yes" : "NO");
+
         profiler_ok = profiler_ok && profiles_identical;
         const unsigned par_used = parallel_po.threads == 0
                                       ? hw_threads

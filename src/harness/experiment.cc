@@ -8,6 +8,7 @@
 #include "common/thread_pool.hh"
 #include "harness/result_cache.hh"
 #include "search/searched_bim.hh"
+#include "synth/registry.hh"
 
 namespace valley {
 namespace harness {
@@ -29,7 +30,7 @@ runOne(const SimConfig &config, Scheme scheme,
         so.seed = bim_seed;
         so.window = config.numSms;
         so.threads = 1;
-        mapper = search::searchedMapper(config.layout, *wl, so);
+        mapper = search::searchedMapper(config.layout, *wl, so, scale);
     } else {
         mapper = mapping::makeScheme(scheme, config.layout, bim_seed);
     }
@@ -48,8 +49,15 @@ runOneCached(const SimConfig &config, Scheme scheme,
         scheme == Scheme::SBIM
             ? schemeName(scheme) + "@" + search::kSearchVersion
             : schemeName(scheme);
+    // Synth specs key on their canonical form, so reordered keys or
+    // redundant defaults hit the same cells (the identity guarantee
+    // of synth/registry.hh).
+    const std::string workload_key =
+        synth::isSynthSpec(workload)
+            ? synth::resolve(workload).canonical()
+            : workload;
     const std::string key =
-        cacheKey(config.name, workload, scheme_id, bim_seed, scale);
+        cacheKey(config.name, workload_key, scheme_id, bim_seed, scale);
     if (auto hit = cacheLookup(key)) {
         hit->config = config.name;
         return *hit;

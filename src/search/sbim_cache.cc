@@ -1,0 +1,162 @@
+#include "search/sbim_cache.hh"
+
+#include <cinttypes>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "harness/result_cache.hh"
+
+namespace valley {
+namespace search {
+
+const char *kSbimCacheVersion = "m1";
+
+std::string
+sbimCachePath()
+{
+    return harness::cacheDir() + "/valley_sbim_cache.csv";
+}
+
+namespace {
+
+/**
+ * One global map is enough here (unlike the result/profile caches):
+ * an SBIM lookup happens once per grid cell, not once per candidate,
+ * so lock contention is irrelevant next to the search it saves.
+ */
+std::mutex mutex;
+std::map<std::string, CachedSearch> cache;
+bool loaded = false;
+
+std::string
+serialize(const SearchResult &r)
+{
+    std::ostringstream out;
+    out.precision(17);
+    out << r.bim.size();
+    for (unsigned row = 0; row < r.bim.size(); ++row)
+        out << ' ' << std::hex << r.bim.row(row) << std::dec;
+    out << ' ' << r.cost << ' ' << r.identityCost << ' '
+        << r.targetEntropy.size();
+    for (double e : r.targetEntropy)
+        out << ' ' << e;
+    return out.str();
+}
+
+std::optional<CachedSearch>
+deserialize(const std::string &line)
+{
+    std::istringstream in(line);
+    unsigned n = 0;
+    in >> n;
+    if (!in || n < 1 || n > 64)
+        return std::nullopt;
+    CachedSearch c;
+    c.bim = BitMatrix(n);
+    for (unsigned row = 0; row < n; ++row) {
+        std::uint64_t mask = 0;
+        in >> std::hex >> mask >> std::dec;
+        c.bim.setRow(row, mask);
+    }
+    std::size_t targets = 0;
+    in >> c.cost >> c.identityCost >> targets;
+    if (!in || targets > 64)
+        return std::nullopt;
+    c.targetEntropy.resize(targets);
+    for (double &e : c.targetEntropy)
+        in >> e;
+    if (!in || !c.bim.invertible())
+        return std::nullopt; // corrupt line: treat as a miss
+    return c;
+}
+
+void
+loadOnceLocked()
+{
+    if (loaded)
+        return;
+    loaded = true;
+    std::ifstream in(sbimCachePath());
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto sep = line.find('|');
+        if (sep == std::string::npos)
+            continue;
+        const std::string key = line.substr(0, sep);
+        if (key.rfind(kSbimCacheVersion, 0) != 0)
+            continue; // stale schema version
+        if (auto c = deserialize(line.substr(sep + 1)))
+            cache[key] = std::move(*c);
+    }
+}
+
+} // namespace
+
+std::string
+sbimCacheKey(const std::string &workload_key, double scale,
+             const std::string &layout_name, const SearchOptions &opts)
+{
+    std::ostringstream out;
+    out.precision(17);
+    out << kSbimCacheVersion << ';' << kSearchVersion << ';'
+        << workload_key << ';' << scale << ';' << layout_name << ';';
+    out << 't';
+    for (unsigned t : opts.targets)
+        out << '.' << t;
+    out << ";c" << std::hex << opts.candidateMask << std::dec << ';'
+        << opts.window << ';' << static_cast<int>(opts.metric) << ';'
+        << opts.seed << ';' << opts.restarts << ';' << opts.iterations
+        << ';' << opts.initialTemp << ';' << opts.finalTemp << ';'
+        << opts.minTaps;
+    return out.str();
+}
+
+SearchResult
+CachedSearch::toResult() const
+{
+    SearchResult r;
+    r.bim = bim;
+    r.cost = cost;
+    r.identityCost = identityCost;
+    r.targetEntropy = targetEntropy;
+    return r;
+}
+
+std::optional<CachedSearch>
+sbimCacheLookup(const std::string &key)
+{
+    if (!harness::cacheEnabled())
+        return std::nullopt;
+    std::lock_guard<std::mutex> lock(mutex);
+    loadOnceLocked();
+    const auto it = cache.find(key);
+    if (it == cache.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+sbimCacheStore(const std::string &key, const SearchResult &r)
+{
+    if (!harness::cacheEnabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex);
+    loadOnceLocked();
+    CachedSearch c;
+    c.bim = r.bim;
+    c.cost = r.cost;
+    c.identityCost = r.identityCost;
+    c.targetEntropy = r.targetEntropy;
+    cache[key] = std::move(c);
+
+    std::error_code ec; // best-effort: a failed append only loses memoization
+    std::filesystem::create_directories(harness::cacheDir(), ec);
+    std::ofstream out(sbimCachePath(), std::ios::app);
+    out << key << '|' << serialize(r) << '\n';
+}
+
+} // namespace search
+} // namespace valley

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * On-disk memoization of searched BIM matrices, mirroring the
+ * result/profile caches.
+ *
+ * A `BimSearch` run is by far the most expensive step of an SBIM grid
+ * cell (annealing restarts x iterations, each scoring bit planes), and
+ * it is a deterministic function of (workload identity, scale, layout,
+ * search options, search version). Repeated grid runs — every fig10 /
+ * fig12 / synth_smoke invocation after the first — therefore memoize
+ * the searched matrix under `harness::cacheDir()` and skip the search
+ * entirely on a hit.
+ *
+ * The key embeds `kSearchVersion` (bumped whenever the search would
+ * produce a different matrix for the same seed), the workload key
+ * (Table II abbreviation or canonical `synth:` spec) and every
+ * `SearchOptions` field that shapes the outcome. Shares the
+ * VALLEY_CACHE=0 escape hatch and the load-once in-memory map design
+ * with the other caches.
+ */
+
+#ifndef VALLEY_SEARCH_SBIM_CACHE_HH
+#define VALLEY_SEARCH_SBIM_CACHE_HH
+
+#include <optional>
+#include <string>
+
+#include "search/bim_search.hh"
+
+namespace valley {
+namespace search {
+
+/** SBIM cache schema version; bump on serialization changes. */
+extern const char *kSbimCacheVersion;
+
+/** SBIM cache file path (inside `harness::cacheDir()`). */
+std::string sbimCachePath();
+
+/**
+ * Unique key of one search: workload key (abbreviation or canonical
+ * synth spec), problem scale, layout name, and the full search
+ * configuration (targets, candidate mask, window, metric, seed,
+ * budget, temperatures, min taps) plus `kSearchVersion`.
+ */
+std::string sbimCacheKey(const std::string &workload_key, double scale,
+                         const std::string &layout_name,
+                         const SearchOptions &opts);
+
+/**
+ * A cache hit: everything `searchedMapper` needs, plus the cost
+ * breakdown so CLI callers can report gain without re-searching.
+ * (Search statistics are not persisted — a hit reports zero
+ * evaluations, which is accurate: nothing was evaluated.)
+ */
+struct CachedSearch
+{
+    BitMatrix bim;
+    double cost = 0.0;
+    double identityCost = 0.0;
+    std::vector<double> targetEntropy;
+
+    CachedSearch() : bim(1) {}
+
+    /** View as a `SearchResult` (stats zeroed). */
+    SearchResult toResult() const;
+};
+
+/** Look up a cached search (loads the file on first use). */
+std::optional<CachedSearch> sbimCacheLookup(const std::string &key);
+
+/** Persist a search result (no-op when caching is disabled). */
+void sbimCacheStore(const std::string &key, const SearchResult &r);
+
+} // namespace search
+} // namespace valley
+
+#endif // VALLEY_SEARCH_SBIM_CACHE_HH

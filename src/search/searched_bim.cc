@@ -4,6 +4,7 @@
 #include <string>
 
 #include "harness/profile_cache.hh"
+#include "search/sbim_cache.hh"
 #include "workloads/profiler.hh"
 
 namespace valley {
@@ -111,9 +112,16 @@ searchWorkload(const Workload &workload, const AddressLayout &layout,
     out.identityProfile =
         harness::profileWorkloadCached(workload, po, scale, "");
 
+    const std::string cache_key = sbimCacheKey(
+        workload.info().abbrev, scale, layout.name, opts);
+    const auto cached = sbimCacheLookup(cache_key);
+
     const Pipeline pipe(workload, layout, opts);
-    out.annealed = pipe.searcher.anneal();
+    out.annealed =
+        cached ? cached->toResult() : pipe.searcher.anneal();
     out.greedyBaseline = pipe.searcher.greedy();
+    if (!cached)
+        sbimCacheStore(cache_key, out.annealed);
 
     out.searchedProfile = pipe.planes.profileFor(
         out.annealed.bim, opts.window, opts.metric);
@@ -131,12 +139,20 @@ searchWorkload(const Workload &workload, const AddressLayout &layout,
 
 std::unique_ptr<AddressMapper>
 searchedMapper(const AddressLayout &layout, const Workload &workload,
-               const SearchOptions &opts_in)
+               const SearchOptions &opts_in, double scale)
 {
     SearchOptions opts = opts_in;
     defaultFromLayout(opts, layout);
+    // A cache hit skips the whole pipeline — including trace-plane
+    // extraction — so repeated SBIM grid cells pay only the lookup.
+    const std::string cache_key = sbimCacheKey(
+        workload.info().abbrev, scale, layout.name, opts);
+    if (auto cached = sbimCacheLookup(cache_key))
+        return mapping::makeCustom("SBIM", layout,
+                                   std::move(cached->bim));
     const Pipeline pipe(workload, layout, opts);
     SearchResult best = pipe.searcher.anneal();
+    sbimCacheStore(cache_key, best);
     return mapping::makeCustom("SBIM", layout, std::move(best.bim));
 }
 

@@ -62,6 +62,11 @@ struct WorkloadSearchResult
  * `sbimMapperId(...)` so figure benches reuse it. Empty `opts.targets` and
  * a zero `opts.candidateMask` default from the layout; the objective
  * is `defaultObjective(layout)`.
+ *
+ * The annealed matrix is memoized in the on-disk SBIM cache
+ * (`sbim_cache.hh`): a hit skips the annealing restarts (the greedy
+ * baseline and profiles still run — they are what the caller asked
+ * to see) and reports zero search statistics.
  */
 WorkloadSearchResult searchWorkload(const Workload &workload,
                                     const AddressLayout &layout,
@@ -70,11 +75,15 @@ WorkloadSearchResult searchWorkload(const Workload &workload,
 /**
  * Search a workload and wrap the best matrix as an `AddressMapper`
  * named "SBIM" — the profile-driven counterpart of
- * `mapping::makeScheme`. Deterministic in (workload, layout, opts).
+ * `mapping::makeScheme`. Deterministic in (workload, layout, opts,
+ * scale). `scale` must be the factor the workload was built with
+ * (deliberately no default: a mismatched scale would mislabel the
+ * cache key); it keys the on-disk SBIM cache, which lets repeated
+ * grid runs skip both the search *and* the trace-plane extraction.
  */
 std::unique_ptr<AddressMapper> searchedMapper(
     const AddressLayout &layout, const Workload &workload,
-    const SearchOptions &opts);
+    const SearchOptions &opts, double scale);
 
 } // namespace search
 } // namespace valley

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The pattern primitives behind the synthetic scenario families.
+ *
+ * Each `make*` function turns a `ResolvedSpec` (validated parameters)
+ * plus an external scale factor into a `Workload` whose kernels emit
+ * deterministic `TraceBuilder` streams. Families control the three
+ * knobs that shape an address stream's entropy profile:
+ *
+ *  - **TB geometry**: which grid dimension advances fastest across
+ *    consecutive TB ids decides which address bits stay pinned inside
+ *    the paper's TB window (column-major allocation ⇒ entropy valley);
+ *  - **read/write mix**: a `wr` fraction or explicit output streams;
+ *  - **per-warp coalescing**: per-thread stride selects between one
+ *    128 B transaction per warp access and a 32-line scatter.
+ *
+ * All generators are pure functions of (spec, scale, tb) — the same
+ * spec yields bit-identical traces on every run and thread count.
+ * Addresses stay inside the 30-bit synthetic heap (32 MB regions, as
+ * in `workloads/suite.cc`); parameter combinations that would
+ * overflow a family's regions are rejected with
+ * `std::invalid_argument` at build time, not truncated silently.
+ */
+
+#ifndef VALLEY_SYNTH_PATTERNS_HH
+#define VALLEY_SYNTH_PATTERNS_HH
+
+#include "synth/registry.hh"
+
+namespace valley {
+namespace synth {
+
+/** Sequential streaming; `tstride` controls per-warp coalescing. */
+std::unique_ptr<Workload> makeStream(const ResolvedSpec &spec,
+                                     double scale);
+
+/** Column-block walk over a pitched array (partition camping). */
+std::unique_ptr<Workload> makeStrided(const ResolvedSpec &spec,
+                                      double scale);
+
+/** 2D tile copy; `order=col|row` flips the TB allocation order. */
+std::unique_ptr<Workload> makeTiled2d(const ResolvedSpec &spec,
+                                      double scale);
+
+/** 3D halo-exchange stencil over an n^3 grid (LPS generalized). */
+std::unique_ptr<Workload> makeStencil3d(const ResolvedSpec &spec,
+                                        double scale);
+
+/** CSR gather over a deterministically generated graph. */
+std::unique_ptr<Workload> makeCsrGather(const ResolvedSpec &spec,
+                                        double scale);
+
+/** Attention-style QK gather: dense Q reads, top-k K row gathers. */
+std::unique_ptr<Workload> makeAttention(const ResolvedSpec &spec,
+                                        double scale);
+
+/** Uniform random lines over a power-of-two footprint (near-flat). */
+std::unique_ptr<Workload> makeHashShuffle(const ResolvedSpec &spec,
+                                          double scale);
+
+/** Multi-kernel pipeline chaining stages through shared regions. */
+std::unique_ptr<Workload> makePipeline(const ResolvedSpec &spec,
+                                       double scale);
+
+} // namespace synth
+} // namespace valley
+
+#endif // VALLEY_SYNTH_PATTERNS_HH

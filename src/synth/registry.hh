@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Registry of synthetic scenario families.
+ *
+ * Each family is a parameterized pattern primitive — `stream`,
+ * `strided`, `tiled2d`, `stencil3d`, `csr_gather`, `attention`,
+ * `hash_shuffle`, `pipeline` — with a declared parameter schema
+ * (keys, types, defaults, help text). A spec string is resolved
+ * against the schema into a `ResolvedSpec`: every parameter gets a
+ * validated, canonically formatted value, so two spec strings that
+ * mean the same workload (reordered keys, redundant defaults,
+ * `n=096` vs `n=96`) resolve to the same canonical form and the same
+ * stable hash — the property the on-disk profile/result/SBIM caches
+ * key on.
+ *
+ * `workloads::make()` falls through to `synth::make()` for any name
+ * with the `synth:` prefix, so spec strings run everywhere a Table II
+ * abbreviation does: the harness grid, the entropy profiler, the BIM
+ * search, the figure benches and the CLIs.
+ */
+
+#ifndef VALLEY_SYNTH_REGISTRY_HH
+#define VALLEY_SYNTH_REGISTRY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "synth/spec.hh"
+#include "workloads/workload.hh"
+
+namespace valley {
+namespace synth {
+
+/** Parameter value type. */
+enum class ParamKind
+{
+    U64, ///< unsigned integer
+    F64, ///< double
+    Str, ///< identifier from a fixed choice set
+};
+
+/** One schema entry of a family. */
+struct ParamSpec
+{
+    std::string key;
+    ParamKind kind = ParamKind::U64;
+    std::string def;            ///< default, canonical text
+    std::string help;           ///< one-line description
+    std::vector<std::string> choices; ///< Str only: allowed values
+};
+
+/** One registered scenario family. */
+struct FamilyInfo
+{
+    std::string name;           ///< e.g. "stencil3d"
+    std::string summary;        ///< one-line description
+    bool typicallyValley = false; ///< default-parameter entropy shape
+    std::vector<ParamSpec> params;
+};
+
+/**
+ * A spec validated against its family schema: every schema key is
+ * present with a canonically formatted value.
+ */
+class ResolvedSpec
+{
+  public:
+    ResolvedSpec(const FamilyInfo *family,
+                 std::vector<std::pair<std::string, std::string>> values);
+
+    const FamilyInfo &family() const { return *family_; }
+
+    /** All (key, canonical value) pairs in schema order. */
+    const std::vector<std::pair<std::string, std::string>> &
+    values() const
+    {
+        return values_;
+    }
+
+    /** Typed accessors; the key must exist in the schema. */
+    std::uint64_t u(const std::string &key) const;
+    double d(const std::string &key) const;
+    const std::string &s(const std::string &key) const;
+
+    /**
+     * Canonical spec string: `synth:family` plus only the parameters
+     * that differ from their defaults, in schema order. Parsing the
+     * canonical string resolves back to an identical `ResolvedSpec`
+     * (round-trip), so it is the stable workload identity used for
+     * `WorkloadInfo::abbrev` and every cache key.
+     */
+    std::string canonical() const;
+
+    /** FNV-1a hash of `canonical()` — stable across runs/platforms. */
+    std::uint64_t hash() const;
+
+  private:
+    const std::string &raw(const std::string &key) const;
+
+    const FamilyInfo *family_;
+    std::vector<std::pair<std::string, std::string>> values_;
+};
+
+/** All registered families, listing order. */
+const std::vector<FamilyInfo> &families();
+
+/** Find a family by name; nullptr when unknown. */
+const FamilyInfo *findFamily(const std::string &name);
+
+/**
+ * Resolve a parsed spec against its family schema. Throws
+ * `std::invalid_argument` on an unknown family, unknown key, or a
+ * value that fails to parse/validate for its kind.
+ */
+ResolvedSpec resolve(const SynthSpec &spec);
+
+/** Convenience: parse + resolve a spec string. */
+ResolvedSpec resolve(const std::string &spec_string);
+
+/**
+ * Build the workload of a spec string. `scale` multiplies the spec's
+ * own `scale` parameter (both in (0, 1]); the workload's
+ * `WorkloadInfo::abbrev` is the canonical spec (without the external
+ * `scale`, which callers pass alongside, mirroring Table II usage).
+ */
+std::unique_ptr<Workload> make(const std::string &spec_string,
+                               double scale = 1.0);
+
+} // namespace synth
+} // namespace valley
+
+#endif // VALLEY_SYNTH_REGISTRY_HH

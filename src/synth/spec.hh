@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Spec strings for the synthetic scenario generator.
+ *
+ * A synthetic workload is named by a spec string
+ *
+ *     synth:FAMILY[,key=value]...
+ *
+ * e.g. `synth:stencil3d,n=96,halo=1,scale=0.5`. `SynthSpec` is the
+ * raw parse of such a string: the family name plus the key=value
+ * pairs exactly as written. Validation against a family's parameter
+ * schema — defaults, types, canonical formatting, the stable hash
+ * used by the on-disk caches — happens in `registry.hh`'s
+ * `ResolvedSpec`, so the parser stays grammar-only.
+ *
+ * Grammar (no whitespace; keys are [a-z0-9_]+, values are anything
+ * up to the next ','):
+ *
+ *     spec  := "synth:" family ("," param)*
+ *     param := key "=" value
+ */
+
+#ifndef VALLEY_SYNTH_SPEC_HH
+#define VALLEY_SYNTH_SPEC_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace valley {
+namespace synth {
+
+/** Prefix marking a workload name as a synthetic spec. */
+inline constexpr const char *kSpecPrefix = "synth:";
+
+/** True iff `name` is a `synth:` spec string (by prefix). */
+bool isSynthSpec(const std::string &name);
+
+/** Raw parse of one spec string (grammar only, no schema checks). */
+struct SynthSpec
+{
+    std::string family;
+    /** key=value pairs in written order; duplicate keys rejected. */
+    std::vector<std::pair<std::string, std::string>> params;
+
+    /**
+     * Parse a spec string. Throws `std::invalid_argument` on a
+     * missing prefix, empty family, malformed parameter (no '=',
+     * empty key/value, bad key characters) or duplicate key.
+     */
+    static SynthSpec parse(const std::string &text);
+
+    /** Re-print as written: `synth:family,k=v,...`. */
+    std::string print() const;
+
+    /** Value of `key`, or nullptr if absent. */
+    const std::string *find(const std::string &key) const;
+};
+
+} // namespace synth
+} // namespace valley
+
+#endif // VALLEY_SYNTH_SPEC_HH

@@ -23,6 +23,7 @@
 #include <stdexcept>
 
 #include "common/rng.hh"
+#include "synth/registry.hh"
 #include "workloads/workload.hh"
 
 namespace valley {
@@ -31,15 +32,6 @@ namespace {
 
 /** Base addresses of the synthetic heap: 32 regions of 32 MB. */
 constexpr Addr region(unsigned idx) { return Addr{idx} << 25; }
-
-/** Scale a dimension, keeping it a positive multiple of `quantum`. */
-unsigned
-scaled(unsigned dim, double scale, unsigned quantum)
-{
-    const auto raw = static_cast<unsigned>(std::lround(dim * scale));
-    const unsigned q = std::max(raw / quantum, 1u) * quantum;
-    return q;
-}
 
 /** Deterministic per-(kernel,tb) RNG for irregular workloads. */
 XorShiftRng
@@ -103,7 +95,8 @@ makeMT(double scale)
     }
 
     return std::make_unique<Workload>(
-        WorkloadInfo{"Transpose", "MT", "CUDA SDK", true},
+        WorkloadInfo{"Transpose", "MT", "CUDA SDK", true,
+                     "512x" + std::to_string(rows)},
         std::move(kernels));
 }
 
@@ -199,7 +192,8 @@ makeLU(double scale)
     }
 
     return std::make_unique<Workload>(
-        WorkloadInfo{"LU Decomposition", "LU", "CUDA SDK", true},
+        WorkloadInfo{"LU Decomposition", "LU", "CUDA SDK", true,
+                     std::to_string(n) + "x" + std::to_string(n)},
         std::move(kernels));
 }
 
@@ -275,7 +269,8 @@ makeGS(double scale)
     }
 
     return std::make_unique<Workload>(
-        WorkloadInfo{"Gaussian", "GS", "Rodinia", true},
+        WorkloadInfo{"Gaussian", "GS", "Rodinia", true,
+                     std::to_string(n) + "x" + std::to_string(n)},
         std::move(kernels));
 }
 
@@ -356,7 +351,8 @@ makeNW(double scale)
     }
 
     return std::make_unique<Workload>(
-        WorkloadInfo{"Needle", "NW", "Rodinia", true},
+        WorkloadInfo{"Needle", "NW", "Rodinia", true,
+                     std::to_string(n) + "x" + std::to_string(n)},
         std::move(kernels));
 }
 
@@ -415,7 +411,8 @@ makeLPS(double scale)
     }
 
     return std::make_unique<Workload>(
-        WorkloadInfo{"Laplace", "LPS", "GPU microbench suite", true},
+        WorkloadInfo{"Laplace", "LPS", "GPU microbench suite", true,
+                     "256x256x" + std::to_string(nz)},
         std::move(kernels));
 }
 
@@ -465,7 +462,8 @@ makeSC(double scale)
     }
 
     return std::make_unique<Workload>(
-        WorkloadInfo{"StreamCluster", "SC", "Rodinia", true},
+        WorkloadInfo{"StreamCluster", "SC", "Rodinia", true,
+                     std::to_string(points) + "x256"},
         std::move(kernels));
 }
 
@@ -548,7 +546,8 @@ makeSRAD2(double scale)
     }
 
     return std::make_unique<Workload>(
-        WorkloadInfo{"Srad v2", "SRAD2", "Rodinia", true},
+        WorkloadInfo{"Srad v2", "SRAD2", "Rodinia", true,
+                     "1024x" + std::to_string(ny)},
         std::move(kernels));
 }
 
@@ -621,7 +620,8 @@ makeDWT2D(double scale)
     }
 
     return std::make_unique<Workload>(
-        WorkloadInfo{"DWT2D", "DWT2D", "Rodinia", true},
+        WorkloadInfo{"DWT2D", "DWT2D", "Rodinia", true,
+                     "1024x" + std::to_string(ny)},
         std::move(kernels));
 }
 
@@ -675,7 +675,8 @@ makeHS(double scale)
     });
 
     return std::make_unique<Workload>(
-        WorkloadInfo{"Hotspot", "HS", "Rodinia", true},
+        WorkloadInfo{"Hotspot", "HS", "Rodinia", true,
+                     "512x" + std::to_string(ny)},
         std::move(kernels));
 }
 
@@ -721,7 +722,8 @@ makeSP(double scale)
     });
 
     return std::make_unique<Workload>(
-        WorkloadInfo{"Scalar Product", "SP", "CUDA SDK", true},
+        WorkloadInfo{"Scalar Product", "SP", "CUDA SDK", true,
+                     "512x" + std::to_string(elems)},
         std::move(kernels));
 }
 
@@ -764,7 +766,8 @@ makeFWT(double scale)
     }
 
     return std::make_unique<Workload>(
-        WorkloadInfo{"Fast Walsh Transform", "FWT", "CUDA SDK", false},
+        WorkloadInfo{"Fast Walsh Transform", "FWT", "CUDA SDK", false,
+                     std::to_string(n)},
         std::move(kernels));
 }
 
@@ -803,7 +806,8 @@ makeNN(double scale)
     }
 
     return std::make_unique<Workload>(
-        WorkloadInfo{"NN", "NN", "GPU microbench suite", false},
+        WorkloadInfo{"NN", "NN", "GPU microbench suite", false,
+                     std::to_string(records)},
         std::move(kernels));
 }
 
@@ -853,7 +857,8 @@ makeSPMV(double scale)
     }
 
     return std::make_unique<Workload>(
-        WorkloadInfo{"SPMV", "SPMV", "Parboil", false},
+        WorkloadInfo{"SPMV", "SPMV", "Parboil", false,
+                     std::to_string(rows) + "x8"},
         std::move(kernels));
 }
 
@@ -915,7 +920,8 @@ makeLM(double scale)
     });
 
     return std::make_unique<Workload>(
-        WorkloadInfo{"LavaMD", "LM", "Rodinia", false},
+        WorkloadInfo{"LavaMD", "LM", "Rodinia", false,
+                     "8x8x8x" + std::to_string(passes)},
         std::move(kernels));
 }
 
@@ -971,7 +977,8 @@ makeMUM(double scale)
     });
 
     return std::make_unique<Workload>(
-        WorkloadInfo{"MUMmerGPU", "MUM", "Rodinia", false},
+        WorkloadInfo{"MUMmerGPU", "MUM", "Rodinia", false,
+                     std::to_string(queries)},
         std::move(kernels));
 }
 
@@ -1029,7 +1036,8 @@ makeBFS(double scale)
     }
 
     return std::make_unique<Workload>(
-        WorkloadInfo{"BFS", "BFS", "Rodinia", false},
+        WorkloadInfo{"BFS", "BFS", "Rodinia", false,
+                     std::to_string(base_nodes)},
         std::move(kernels));
 }
 
@@ -1040,6 +1048,11 @@ make(const std::string &abbrev, double scale)
 {
     if (scale <= 0.0 || scale > 1.0)
         throw std::invalid_argument("workload scale must be in (0,1]");
+    // `synth:` spec strings fall through to the scenario-generator
+    // registry: unlimited parameterized workloads next to the fixed
+    // Table II set, behind the same entry point.
+    if (synth::isSynthSpec(abbrev))
+        return synth::make(abbrev, scale);
     if (abbrev == "MT") return makeMT(scale);
     if (abbrev == "LU") return makeLU(scale);
     if (abbrev == "GS") return makeGS(scale);

@@ -1,14 +1,25 @@
 #include "workloads/workload.hh"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <stdexcept>
 
 namespace valley {
 
 Kernel::Kernel(KernelParams params, TraceFn fn_)
     : params_(std::move(params)), fn(std::move(fn_))
 {
-    assert(params_.numTbs >= 1);
-    assert(params_.warpsPerTb >= 1);
+    // A zero-TB (or zero-warp) launch would silently contribute no
+    // requests — and in Release builds an assert would compile out —
+    // so reject it outright. Generators that scale their dimensions
+    // must clamp (see workloads::scaled).
+    if (params_.numTbs < 1)
+        throw std::invalid_argument("kernel '" + params_.name +
+                                    "' launched with zero TBs");
+    if (params_.warpsPerTb < 1)
+        throw std::invalid_argument("kernel '" + params_.name +
+                                    "' launched with zero warps/TB");
 }
 
 TbTrace
@@ -45,4 +56,17 @@ Workload::countRequests() const
     return n;
 }
 
+namespace workloads {
+
+unsigned
+scaled(unsigned dim, double scale, unsigned quantum)
+{
+    assert(quantum >= 1);
+    const auto raw = static_cast<unsigned>(std::lround(dim * scale));
+    const unsigned q = std::max(raw / quantum, 1u) * quantum;
+    assert(q >= quantum && q % quantum == 0);
+    return q;
+}
+
+} // namespace workloads
 } // namespace valley

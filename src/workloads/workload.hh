@@ -65,13 +65,20 @@ class Kernel
     TraceFn fn;
 };
 
-/** Identity of one benchmark (Table II row). */
+/** Identity of one benchmark (Table II row or a synthetic spec). */
 struct WorkloadInfo
 {
     std::string name;    ///< e.g. "Transpose"
-    std::string abbrev;  ///< e.g. "MT"
-    std::string suite;   ///< e.g. "CUDA SDK"
+    std::string abbrev;  ///< e.g. "MT", or a canonical `synth:` spec
+    std::string suite;   ///< e.g. "CUDA SDK", or "synth"
     bool entropyValley = false; ///< top group of Table II
+
+    /**
+     * Resolved problem dimensions after scaling, e.g. "512x256x16".
+     * Purely informational (bench tables, `valley_gen`); "" when a
+     * generator has nothing meaningful to report.
+     */
+    std::string dims;
 };
 
 /** A benchmark: metadata + its kernel launch sequence. */
@@ -100,14 +107,26 @@ namespace workloads {
 
 /**
  * Build one benchmark by abbreviation (Table II: MT, LU, GS, NW, LPS,
- * SC, SRAD2, DWT2D, HS, SP, FWT, NN, SPMV, LM, MUM, BFS).
+ * SC, SRAD2, DWT2D, HS, SP, FWT, NN, SPMV, LM, MUM, BFS) or by a
+ * `synth:` scenario spec string (`synth:FAMILY[,key=value...]`, see
+ * `synth/registry.hh` and `tools/valley_gen --list`).
  *
  * @param scale linear problem-size scale in (0, 1]; 1.0 is the
  *              default evaluation size, smaller values shrink traces
- *              for fast tests.
+ *              for fast tests. For synth specs it multiplies the
+ *              spec's own `scale` parameter.
  */
 std::unique_ptr<Workload> make(const std::string &abbrev,
                                double scale = 1.0);
+
+/**
+ * Scale a problem dimension, keeping it a positive multiple of
+ * `quantum`: the result is always >= quantum, so no combination of
+ * tiny `scale` values and integer division downstream can silently
+ * produce a zero-sized dimension (generators additionally get a
+ * hard guarantee from `Kernel` rejecting zero-TB launches).
+ */
+unsigned scaled(unsigned dim, double scale, unsigned quantum);
 
 /** The ten entropy-valley benchmarks (Fig. 12 set), paper order. */
 const std::vector<std::string> &valleySet();

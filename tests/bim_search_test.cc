@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "bim/bim_builder.hh"
 #include "common/rng.hh"
 #include "search/searched_bim.hh"
@@ -246,7 +248,12 @@ TEST(SearchedMapper, WrapsInvertibleBimNamedSbim)
     opts.threads = 1;
     opts.restarts = 2;
     opts.iterations = 300;
-    const auto mapper = search::searchedMapper(layout, *s.wl, opts);
+    // VALLEY_CACHE=0: this test must exercise the live search (and
+    // never write a cache entry into the developer's cache dir).
+    setenv("VALLEY_CACHE", "0", 1);
+    const auto mapper =
+        search::searchedMapper(layout, *s.wl, opts, kScale);
+    unsetenv("VALLEY_CACHE");
     EXPECT_EQ(mapper->name(), "SBIM");
     EXPECT_TRUE(mapper->matrix().invertible());
     // One-to-one over a sample of addresses via the inverse matrix.

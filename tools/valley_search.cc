@@ -28,6 +28,7 @@
 #include "bim/compiled_transform.hh"
 #include "common/table.hh"
 #include "search/searched_bim.hh"
+#include "synth/registry.hh"
 #include "workloads/workload.hh"
 
 using namespace valley;
@@ -47,8 +48,10 @@ Usage: valley_search --workload ABBREV [options]
 Options:
   --workload A    Table II benchmark abbreviation (MT, LU, GS, NW,
                   LPS, SC, SRAD2, DWT2D, HS, SP, FWT, NN, SPMV, LM,
-                  MUM, BFS); required unless --list is given
-  --list          print the known workloads and exit
+                  MUM, BFS) or a synth:FAMILY[,key=value...] scenario
+                  spec (see valley_gen --list); required unless
+                  --list is given
+  --list          print the known workloads and synth families, exit
   --scale S       problem-size scale in (0, 1]; default 0.25
   --layout L      DRAM layout: gddr5 (default) or 3d
   --seed N        search seed (the "BIM-N" of Fig. 19); default 1
@@ -240,6 +243,8 @@ main(int argc, char **argv)
     if (o.list) {
         for (const std::string &w : workloads::allSet())
             std::printf("%s\n", w.c_str());
+        for (const auto &f : synth::families())
+            std::printf("synth:%s\n", f.name.c_str());
         return 0;
     }
     if (o.workload.empty())
