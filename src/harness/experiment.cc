@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <mutex>
 #include <stdexcept>
 
 #include "common/stats.hh"
@@ -13,42 +14,44 @@
 namespace valley {
 namespace harness {
 
-RunResult
-runOne(const SimConfig &config, Scheme scheme,
-       const std::string &workload, double scale,
-       std::uint64_t bim_seed)
+namespace {
+
+/** Search options every searched-scheme grid cell uses. */
+search::SearchOptions
+cellSearchOptions(const SimConfig &config, std::uint64_t bim_seed)
 {
-    const auto wl = workloads::make(workload, scale);
-    std::unique_ptr<AddressMapper> mapper;
-    if (scheme == Scheme::SBIM) {
-        // Profile-driven searched mapping: run the BIM search over
-        // this workload's trace planes. Restarts stay serial here —
-        // grid cells already fan out over the harness thread pool —
-        // and the search is deterministic in (workload, scale,
-        // layout, window, seed), so cells remain bit-reproducible.
-        search::SearchOptions so = search::defaultOptions(config.layout);
-        so.seed = bim_seed;
-        so.window = config.numSms;
-        so.threads = 1;
-        mapper = search::searchedMapper(config.layout, *wl, so, scale);
-    } else {
-        mapper = mapping::makeScheme(scheme, config.layout, bim_seed);
-    }
-    GpuSystem sim(config, *mapper);
-    return sim.run(*wl);
+    // Restarts stay serial here — grid cells already fan out over the
+    // harness thread pool — and the search is deterministic in
+    // (workload set, scale, layout, window, seed), so cells remain
+    // bit-reproducible.
+    search::SearchOptions so = search::defaultOptions(config.layout);
+    so.seed = bim_seed;
+    so.window = config.numSms;
+    so.threads = 1;
+    return so;
 }
 
-RunResult
-runOneCached(const SimConfig &config, Scheme scheme,
-             const std::string &workload, double scale,
-             std::uint64_t bim_seed)
+/**
+ * Result-cache key of one cell. Searched matrices depend on the
+ * search implementation, not just the seed, so their cells carry the
+ * search version in the scheme slot; GBIM cells additionally carry
+ * the joint set's canonical hash (the same workload simulates
+ * differently under different sets).
+ */
+std::string
+cellCacheKey(const SimConfig &config, Scheme scheme,
+             const std::string &workload, std::uint64_t bim_seed,
+             double scale, const workloads::WorkloadSet *joint_set)
 {
-    // SBIM matrices depend on the search implementation, not just the
-    // seed, so its cells carry the search version in the scheme slot.
-    const std::string scheme_id =
-        scheme == Scheme::SBIM
-            ? schemeName(scheme) + "@" + search::kSearchVersion
-            : schemeName(scheme);
+    std::string scheme_id = schemeName(scheme);
+    if (scheme == Scheme::SBIM) {
+        scheme_id += std::string("@") + search::kSearchVersion;
+    } else if (scheme == Scheme::GBIM) {
+        const workloads::WorkloadSet set =
+            joint_set ? *joint_set : workloads::WorkloadSet({workload});
+        scheme_id += std::string("@") + search::kSearchVersion + "@" +
+                     set.shortId();
+    }
     // Synth specs key on their canonical form, so reordered keys or
     // redundant defaults hit the same cells (the identity guarantee
     // of synth/registry.hh).
@@ -56,13 +59,65 @@ runOneCached(const SimConfig &config, Scheme scheme,
         synth::isSynthSpec(workload)
             ? synth::resolve(workload).canonical()
             : workload;
-    const std::string key =
-        cacheKey(config.name, workload_key, scheme_id, bim_seed, scale);
+    return cacheKey(config.name, workload_key, scheme_id, bim_seed,
+                    scale);
+}
+
+/** Simulate one workload under an already-built mapper. */
+RunResult
+simulateCell(const SimConfig &config, const AddressMapper &mapper,
+             const std::string &workload, double scale)
+{
+    const auto wl = workloads::make(workload, scale);
+    GpuSystem sim(config, mapper);
+    return sim.run(*wl);
+}
+
+} // namespace
+
+RunResult
+runOne(const SimConfig &config, Scheme scheme,
+       const std::string &workload, double scale,
+       std::uint64_t bim_seed, const workloads::WorkloadSet *joint_set)
+{
+    std::unique_ptr<AddressMapper> mapper;
+    if (scheme == Scheme::SBIM) {
+        // Profile-driven searched mapping over this one workload's
+        // trace planes: the size-1 set, named "SBIM" by default.
+        mapper = search::setMapper(
+            config.layout, workloads::WorkloadSet({workload}),
+            cellSearchOptions(config, bim_seed), scale);
+    } else if (scheme == Scheme::GBIM) {
+        // Global searched mapping: one BIM annealed jointly against
+        // the whole set — the deployment story the per-workload SBIM
+        // column is compared against. (Grid cells share the matrix
+        // in memory via runGrid; this standalone path rebuilds it,
+        // through the SBIM cache when enabled.) Named after the
+        // *requested scheme*: a size-1 set would otherwise label the
+        // cell's RunResult "SBIM".
+        const workloads::WorkloadSet fallback({workload});
+        mapper = search::setMapper(
+            config.layout, joint_set ? *joint_set : fallback,
+            cellSearchOptions(config, bim_seed), scale, "GBIM");
+    } else {
+        mapper = mapping::makeScheme(scheme, config.layout, bim_seed);
+    }
+    return simulateCell(config, *mapper, workload, scale);
+}
+
+RunResult
+runOneCached(const SimConfig &config, Scheme scheme,
+             const std::string &workload, double scale,
+             std::uint64_t bim_seed, const workloads::WorkloadSet *joint_set)
+{
+    const std::string key = cellCacheKey(config, scheme, workload,
+                                         bim_seed, scale, joint_set);
     if (auto hit = cacheLookup(key)) {
         hit->config = config.name;
         return *hit;
     }
-    RunResult r = runOne(config, scheme, workload, scale, bim_seed);
+    RunResult r =
+        runOne(config, scheme, workload, scale, bim_seed, joint_set);
     cacheStore(key, r);
     return r;
 }
@@ -197,6 +252,30 @@ runGrid(GridOptions opts)
         opts.workloads.size(),
         std::vector<RunResult>(opts.schemes.size()));
 
+    // One canonical joint set for every GBIM cell of this grid: the
+    // explicit override, or the grid's own workload axis — "the best
+    // single BIM for the workloads being compared". The searched
+    // mapper is built lazily, at most once, and shared in memory
+    // across cells (AddressMapper is immutable after construction),
+    // so a cold parallel grid never races N identical annealing
+    // searches — with or without the on-disk caches.
+    std::unique_ptr<workloads::WorkloadSet> joint;
+    if (std::find(opts.schemes.begin(), opts.schemes.end(),
+                  Scheme::GBIM) != opts.schemes.end())
+        joint = std::make_unique<workloads::WorkloadSet>(
+            opts.jointSet.empty() ? opts.workloads : opts.jointSet);
+    std::unique_ptr<AddressMapper> gbim_mapper;
+    std::once_flag gbim_once;
+    const auto sharedGbim = [&]() -> const AddressMapper & {
+        std::call_once(gbim_once, [&] {
+            gbim_mapper = search::setMapper(
+                opts.config.layout, *joint,
+                cellSearchOptions(opts.config, opts.bimSeed),
+                opts.scale, "GBIM");
+        });
+        return *gbim_mapper;
+    };
+
     const auto runCell = [&](std::size_t wi, std::size_t si) {
         const std::string &w = opts.workloads[wi];
         const Scheme s = opts.schemes[si];
@@ -204,11 +283,34 @@ runGrid(GridOptions opts)
             std::fprintf(stderr, "[grid] %-6s %-5s %s...\n", w.c_str(),
                          schemeName(s).c_str(),
                          opts.config.name.c_str());
+        if (s == Scheme::GBIM && joint) {
+            // GBIM cells simulate under the one shared matrix; the
+            // result cache still short-circuits repeat grids (and,
+            // on a full hit, the search never runs at all).
+            const std::string key =
+                opts.useCache
+                    ? cellCacheKey(opts.config, s, w, opts.bimSeed,
+                                   opts.scale, joint.get())
+                    : std::string();
+            if (opts.useCache) {
+                if (auto hit = cacheLookup(key)) {
+                    hit->config = opts.config.name;
+                    results[wi][si] = *hit;
+                    return;
+                }
+            }
+            results[wi][si] = simulateCell(opts.config, sharedGbim(),
+                                           w, opts.scale);
+            if (opts.useCache)
+                cacheStore(key, results[wi][si]);
+            return;
+        }
         results[wi][si] =
             opts.useCache
                 ? runOneCached(opts.config, s, w, opts.scale,
-                               opts.bimSeed)
-                : runOne(opts.config, s, w, opts.scale, opts.bimSeed);
+                               opts.bimSeed, joint.get())
+                : runOne(opts.config, s, w, opts.scale, opts.bimSeed,
+                         joint.get());
     };
 
     const std::size_t cells =

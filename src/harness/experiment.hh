@@ -17,6 +17,7 @@
 #include "gpu/sim_config.hh"
 #include "mapping/address_mapper.hh"
 #include "workloads/workload.hh"
+#include "workloads/workload_set.hh"
 
 namespace valley {
 namespace harness {
@@ -33,6 +34,14 @@ struct GridOptions
     bool useCache = false;               ///< memoize via result_cache
 
     /**
+     * Members of the joint set GBIM cells search against; empty =
+     * `workloads` (one global BIM for the whole grid's workload
+     * axis, the usual figs 10/12/20-style comparison). Ignored by
+     * every other scheme.
+     */
+    std::vector<std::string> jointSet;
+
+    /**
      * Worker threads for the grid: 1 = serial, 0 = one per hardware
      * thread. Every (workload, scheme) cell is an independent
      * simulation with its own GpuSystem and deterministically seeded
@@ -41,15 +50,25 @@ struct GridOptions
     unsigned threads = 0;
 };
 
-/** Simulate one (config, scheme, workload) combination. */
+/**
+ * Simulate one (config, scheme, workload) combination.
+ *
+ * @param joint_set for `Scheme::GBIM`, the workload set the joint
+ *        BIM is searched against (every cell of a grid shares one
+ *        set, and therefore one matrix); null = the degenerate
+ *        singleton `{workload}`. Ignored by every other scheme.
+ */
 RunResult runOne(const SimConfig &config, Scheme scheme,
                  const std::string &workload, double scale = 1.0,
-                 std::uint64_t bim_seed = 1);
+                 std::uint64_t bim_seed = 1,
+                 const workloads::WorkloadSet *joint_set = nullptr);
 
 /** Like runOne, but consults/updates the on-disk result cache. */
 RunResult runOneCached(const SimConfig &config, Scheme scheme,
                        const std::string &workload, double scale = 1.0,
-                       std::uint64_t bim_seed = 1);
+                       std::uint64_t bim_seed = 1,
+                       const workloads::WorkloadSet *joint_set =
+                           nullptr);
 
 /**
  * Results of a workloads x schemes grid with paper-style

@@ -31,6 +31,7 @@ schemeName(Scheme s)
       case Scheme::FAE:  return "FAE";
       case Scheme::ALL:  return "ALL";
       case Scheme::SBIM: return "SBIM";
+      case Scheme::GBIM: return "GBIM";
     }
     return "?";
 }
@@ -135,12 +136,13 @@ makeScheme(Scheme s, const AddressLayout &layout, std::uint64_t seed)
         break;
       }
       case Scheme::SBIM:
-        // The searched BIM depends on a workload profile, which this
-        // layout-only factory does not have; the harness builds SBIM
-        // mappers via search::searchedMapper.
+      case Scheme::GBIM:
+        // The searched BIMs depend on workload profiles, which this
+        // layout-only factory does not have; the harness builds them
+        // via search::searchedMapper / search::setMapper.
         throw std::invalid_argument(
-            "makeScheme: SBIM requires a workload; use "
-            "search::searchedMapper");
+            "makeScheme: " + schemeName(s) +
+            " requires workload profiles; use the search:: mappers");
     }
     return std::make_unique<AddressMapper>(schemeName(s), layout,
                                            std::move(m));

@@ -30,18 +30,26 @@
 namespace valley {
 
 /**
- * The six schemes of the paper's evaluation, plus SBIM: the
- * profile-driven searched BIM produced by `search::BimSearch` (this
- * repo's automation of the Section IV-B design-time methodology).
- * SBIM is per-workload — `mapping::makeScheme` cannot build it from a
- * layout alone; the harness routes it through
- * `search::searchedMapper` instead.
+ * The six schemes of the paper's evaluation, plus the two searched
+ * schemes produced by `search::BimSearch` (this repo's automation of
+ * the Section IV-B design-time methodology):
+ *
+ *  - SBIM: per-workload searched BIM — one matrix annealed against a
+ *    single workload's trace planes;
+ *  - GBIM: global searched BIM — one matrix annealed *jointly*
+ *    against a whole `workloads::WorkloadSet`, the profile-driven
+ *    counterpart of the paper's one-size-fits-all RMP.
+ *
+ * Both depend on workload profiles, so `mapping::makeScheme` cannot
+ * build them from a layout alone; the harness routes them through
+ * `search::searchedMapper` / `search::setMapper` instead.
  */
-enum class Scheme { BASE, PM, RMP, PAE, FAE, ALL, SBIM };
+enum class Scheme { BASE, PM, RMP, PAE, FAE, ALL, SBIM, GBIM };
 
 /**
- * The paper's six schemes in its presentation order (SBIM excluded;
- * benches append it explicitly when comparing searched mappings).
+ * The paper's six schemes in its presentation order (SBIM/GBIM
+ * excluded; benches append them explicitly when comparing searched
+ * mappings).
  */
 const std::vector<Scheme> &allSchemes();
 

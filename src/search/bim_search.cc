@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
@@ -68,17 +69,32 @@ chainSeed(std::uint64_t seed, unsigned restart)
                0xBF58476D1CE4E5B9ull;
 }
 
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
 } // namespace
 
 BimSearch::BimSearch(const AddressLayout &layout,
-                     const TracePlanes &planes_,
-                     FlatnessObjective objective_, SearchOptions opts_)
-    : nbits(layout.addrBits), planes(planes_),
+                     std::vector<const TracePlanes *> planes,
+                     JointObjective objective_, SearchOptions opts_)
+    : nbits(layout.addrBits), planes_(std::move(planes)),
       objective(std::move(objective_)), opts(std::move(opts_))
 {
-    if (planes.numBits() != nbits)
+    if (planes_.empty())
+        throw std::invalid_argument("BimSearch: empty plane set");
+    for (const TracePlanes *p : planes_)
+        if (p == nullptr || p->numBits() != nbits)
+            throw std::invalid_argument(
+                "BimSearch: planes bit width != layout address bits");
+    if (!objective.memberWeights.empty() &&
+        objective.memberWeights.size() != planes_.size())
         throw std::invalid_argument(
-            "BimSearch: planes bit width != layout address bits");
+            "BimSearch: memberWeights size != set members");
 
     targets_ = opts.targets.empty() ? layout.randomizeTargets()
                                     : opts.targets;
@@ -98,8 +114,8 @@ BimSearch::BimSearch(const AddressLayout &layout,
             throw std::invalid_argument(
                 "BimSearch: targets must be candidates");
     }
-    if (!objective.targetWeights.empty() &&
-        objective.targetWeights.size() != targets_.size())
+    if (!objective.flatness.targetWeights.empty() &&
+        objective.flatness.targetWeights.size() != targets_.size())
         throw std::invalid_argument(
             "BimSearch: targetWeights size != targets");
     for (unsigned b = 0; b < nbits; ++b)
@@ -111,21 +127,50 @@ BimSearch::BimSearch(const AddressLayout &layout,
         opts.minTaps = 1;
 }
 
+BimSearch::BimSearch(const AddressLayout &layout,
+                     const TracePlanes &planes, FlatnessObjective obj,
+                     SearchOptions opts_)
+    : BimSearch(layout, std::vector<const TracePlanes *>{&planes},
+                JointObjective{std::move(obj), JointCombiner::Mean, {}},
+                std::move(opts_))
+{
+}
+
+std::uint64_t
+BimSearch::chainBudget(bool greedy) const
+{
+    if (opts.maxEvaluations == 0)
+        return 0;
+    // greedy() is one chain and gets the whole per-run cap; anneal()
+    // splits it evenly across its restart chains.
+    if (greedy)
+        return opts.maxEvaluations;
+    return std::max<std::uint64_t>(1,
+                                   opts.maxEvaluations / opts.restarts);
+}
+
 double
 BimSearch::identityCost() const
 {
-    std::vector<double> ent(targets_.size());
-    for (std::size_t i = 0; i < targets_.size(); ++i)
-        ent[i] = planes.rowEntropy(std::uint64_t{1} << targets_[i],
-                                   opts.window, opts.metric);
-    return objective.cost(ent, 0);
+    const std::size_t nt = targets_.size();
+    std::vector<double> ent(nt);
+    std::vector<double> member_costs(planes_.size());
+    for (std::size_t m = 0; m < planes_.size(); ++m) {
+        for (std::size_t i = 0; i < nt; ++i)
+            ent[i] = planes_[m]->rowEntropy(
+                std::uint64_t{1} << targets_[i], opts.window,
+                opts.metric);
+        member_costs[m] = objective.memberCost(ent, 0);
+    }
+    return objective.combine(member_costs);
 }
 
 /** Mutable state of one annealing chain. */
 struct BimSearch::Chain
 {
     std::vector<std::uint64_t> rows; ///< target row masks
-    std::vector<double> ent;         ///< cached per-target entropy
+    std::vector<double> ent;  ///< cached entropy, [member*nt + target]
+    std::vector<double> memberCost; ///< cached per-member flatness
     unsigned gates = 0;
     double cost = 0.0;
 };
@@ -134,25 +179,34 @@ SearchResult
 BimSearch::runChain(unsigned restart, bool greedy) const
 {
     const std::size_t nt = targets_.size();
+    const std::size_t nm = planes_.size();
     XorShiftRng rng(chainSeed(opts.seed, restart));
     SearchStats stats;
+    const std::uint64_t budget = chainBudget(greedy);
 
-    const auto evalRow = [&](std::uint64_t row) {
+    const auto evalRow = [&](std::size_t m, std::uint64_t row) {
         ++stats.evaluations;
-        return planes.rowEntropy(row, opts.window, opts.metric);
+        return planes_[m]->rowEntropy(row, opts.window, opts.metric);
     };
     const auto finishChain = [&](Chain &c) {
         c.gates = gateCount(c.rows);
-        c.ent.resize(nt);
-        for (std::size_t i = 0; i < nt; ++i)
-            c.ent[i] = evalRow(c.rows[i]);
-        c.cost = objective.cost(c.ent, c.gates);
+        c.ent.resize(nm * nt);
+        c.memberCost.resize(nm);
+        for (std::size_t m = 0; m < nm; ++m) {
+            for (std::size_t i = 0; i < nt; ++i)
+                c.ent[m * nt + i] = evalRow(m, c.rows[i]);
+            c.memberCost[m] = objective.memberCost(
+                std::span<const double>(c.ent.data() + m * nt, nt),
+                c.gates);
+        }
+        c.cost = objective.combine(c.memberCost);
     };
 
     // Start state: restart 0 (and the greedy baseline) start from the
     // identity, so any accepted move yields a strict improvement over
     // BASE; later restarts start from a random invertible draw for
     // diversity (randomBroad-style rejection sampling).
+    auto phase_start = Clock::now();
     Chain cur;
     cur.rows.resize(nt);
     for (std::size_t i = 0; i < nt; ++i)
@@ -178,12 +232,15 @@ BimSearch::runChain(unsigned restart, bool greedy) const
     }
     finishChain(cur);
     Chain best = cur;
+    stats.setupSeconds = secondsSince(phase_start);
 
     const unsigned iters = opts.iterations;
     const double t0 = std::max(opts.initialTemp, 1e-12);
     const double tf =
         std::min(std::max(opts.finalTemp, 1e-12), t0);
-    std::vector<double> ent_scratch(nt);
+    std::vector<double> ent_scratch(nm * nt);
+    std::vector<double> mc_scratch(nm);
+    std::vector<double> new_ent(nm);
 
     // One Metropolis step at `temp` (0 = strict-improvement only).
     const auto step = [&](double temp) {
@@ -216,7 +273,6 @@ BimSearch::runChain(unsigned restart, bool greedy) const
         }
 
         double new_cost;
-        double new_ent = 0.0;
         unsigned new_gates = cur.gates;
         if (swap_move) {
             // Swapping two rows only permutes the output bits; rank
@@ -224,8 +280,15 @@ BimSearch::runChain(unsigned restart, bool greedy) const
             // needed (or possible to fail) here — the final
             // invertible() audit below still covers the result.
             ent_scratch = cur.ent;
-            std::swap(ent_scratch[i], ent_scratch[j]);
-            new_cost = objective.cost(ent_scratch, cur.gates);
+            for (std::size_t m = 0; m < nm; ++m) {
+                std::swap(ent_scratch[m * nt + i],
+                          ent_scratch[m * nt + j]);
+                mc_scratch[m] = objective.memberCost(
+                    std::span<const double>(
+                        ent_scratch.data() + m * nt, nt),
+                    cur.gates);
+            }
+            new_cost = objective.combine(mc_scratch);
         } else {
             if (new_row == 0 ||
                 static_cast<unsigned>(std::popcount(new_row)) <
@@ -237,7 +300,6 @@ BimSearch::runChain(unsigned restart, bool greedy) const
                 ++stats.rejectedSingular;
                 return;
             }
-            new_ent = evalRow(new_row);
             const unsigned old_taps = static_cast<unsigned>(
                 std::popcount(cur.rows[i]));
             const unsigned new_taps =
@@ -245,8 +307,15 @@ BimSearch::runChain(unsigned restart, bool greedy) const
             new_gates = cur.gates - (old_taps > 1 ? old_taps - 1 : 0) +
                         (new_taps > 1 ? new_taps - 1 : 0);
             ent_scratch = cur.ent;
-            ent_scratch[i] = new_ent;
-            new_cost = objective.cost(ent_scratch, new_gates);
+            for (std::size_t m = 0; m < nm; ++m) {
+                new_ent[m] = evalRow(m, new_row);
+                ent_scratch[m * nt + i] = new_ent[m];
+                mc_scratch[m] = objective.memberCost(
+                    std::span<const double>(
+                        ent_scratch.data() + m * nt, nt),
+                    new_gates);
+            }
+            new_cost = objective.combine(mc_scratch);
         }
 
         const double dc = new_cost - cur.cost;
@@ -258,20 +327,36 @@ BimSearch::runChain(unsigned restart, bool greedy) const
         ++stats.accepted;
         if (swap_move) {
             std::swap(cur.rows[i], cur.rows[j]);
-            std::swap(cur.ent[i], cur.ent[j]);
+            for (std::size_t m = 0; m < nm; ++m)
+                std::swap(cur.ent[m * nt + i], cur.ent[m * nt + j]);
         } else {
             cur.rows[i] = new_row;
-            cur.ent[i] = new_ent;
+            for (std::size_t m = 0; m < nm; ++m)
+                cur.ent[m * nt + i] = new_ent[m];
             cur.gates = new_gates;
         }
+        cur.memberCost = mc_scratch;
         cur.cost = new_cost;
         if (cur.cost < best.cost)
             best = cur;
     };
 
+    // The budget gate: deterministic (counted, not timed), checked at
+    // move boundaries so a capped chain still ends on a fully scored
+    // state. See SearchOptions::maxEvaluations.
+    const auto budgetExhausted = [&] {
+        if (budget == 0 || stats.evaluations < budget)
+            return false;
+        stats.capped = true;
+        return true;
+    };
+
     // Annealing phase: geometric cooling from t0 to tf (the greedy
     // baseline runs the same steps at temperature 0 throughout).
+    phase_start = Clock::now();
     for (unsigned k = 0; k < iters; ++k) {
+        if (budgetExhausted())
+            break;
         const double temp =
             greedy ? 0.0
                    : t0 * std::pow(tf / t0,
@@ -281,17 +366,23 @@ BimSearch::runChain(unsigned restart, bool greedy) const
                                        : 0.0);
         step(temp);
     }
+    stats.annealSeconds = secondsSince(phase_start);
 
     // Zero-temperature polish: descend from the chain's best state.
     // The gate regularizer is finer-grained than any practical final
     // temperature, so without this the chain could end on a state
     // that still accepts gate-increasing wiggles and return a best
     // that a plain descent would improve.
+    phase_start = Clock::now();
     if (!greedy) {
         cur = best;
-        for (unsigned k = 0; k < iters / 3 + 1; ++k)
+        for (unsigned k = 0; k < iters / 3 + 1; ++k) {
+            if (budgetExhausted())
+                break;
             step(0.0);
+        }
     }
+    stats.polishSeconds = secondsSince(phase_start);
 
     SearchResult result;
     BitMatrix m = BitMatrix::identity(nbits);
@@ -304,7 +395,24 @@ BimSearch::runChain(unsigned restart, bool greedy) const
                                "singular matrix");
     result.bim = std::move(m);
     result.cost = best.cost;
-    result.targetEntropy = best.ent;
+    result.memberCosts = best.memberCost;
+    result.memberTargetEntropy.resize(nm);
+    for (std::size_t mem = 0; mem < nm; ++mem)
+        result.memberTargetEntropy[mem].assign(
+            best.ent.begin() +
+                static_cast<std::ptrdiff_t>(mem * nt),
+            best.ent.begin() +
+                static_cast<std::ptrdiff_t>((mem + 1) * nt));
+    // The aggregate per-target view: uniform mean across members.
+    // For one member the division by 1.0 is exact, keeping the size-1
+    // search bit-identical to the pre-set implementation.
+    result.targetEntropy.resize(nt);
+    for (std::size_t i = 0; i < nt; ++i) {
+        double sum = 0.0;
+        for (std::size_t mem = 0; mem < nm; ++mem)
+            sum += best.ent[mem * nt + i];
+        result.targetEntropy[i] = sum / static_cast<double>(nm);
+    }
     result.bestRestart = restart;
     result.stats = stats;
     return result;
@@ -313,6 +421,7 @@ BimSearch::runChain(unsigned restart, bool greedy) const
 SearchResult
 BimSearch::anneal() const
 {
+    const auto wall_start = Clock::now();
     const unsigned restarts = opts.restarts;
     std::vector<SearchResult> slots(restarts);
     const auto runOne = [&](unsigned r) {
@@ -345,17 +454,24 @@ BimSearch::anneal() const
         total.evaluations += s.stats.evaluations;
         total.accepted += s.stats.accepted;
         total.rejectedSingular += s.stats.rejectedSingular;
+        total.capped = total.capped || s.stats.capped;
+        total.setupSeconds += s.stats.setupSeconds;
+        total.annealSeconds += s.stats.annealSeconds;
+        total.polishSeconds += s.stats.polishSeconds;
     }
     out.stats = total;
     out.identityCost = identityCost();
+    out.stats.totalSeconds = secondsSince(wall_start);
     return out;
 }
 
 SearchResult
 BimSearch::greedy() const
 {
+    const auto wall_start = Clock::now();
     SearchResult out = runChain(0, /*greedy=*/true);
     out.identityCost = identityCost();
+    out.stats.totalSeconds = secondsSince(wall_start);
     return out;
 }
 

@@ -5,9 +5,11 @@
  * Closes the loop of the paper's Section IV-B design-time
  * methodology: instead of hand-deriving a BIM from an entropy chart,
  * `BimSearch` *searches* the space of invertible GF(2) matrices for
- * one that flattens a workload's entropy valley, scoring candidates
- * with `FlatnessObjective` over `TracePlanes` (one XOR+popcount pass
- * per candidate row — no re-profiling).
+ * one that flattens the entropy valley of a workload — or, jointly,
+ * of a whole workload set. Candidates are scored with a
+ * `JointObjective` over one `TracePlanes` per set member (one
+ * XOR+popcount pass per candidate row per member — no re-profiling);
+ * the classic single-workload search is exactly the size-1 set.
  *
  * ## Search space and the invertibility invariant
  *
@@ -32,7 +34,9 @@
  * Every accepted state is therefore invertible by construction, and
  * `anneal`/`greedy` additionally verify the final matrix before
  * returning (`SearchResult::bim` would throw inside `AddressMapper`
- * otherwise).
+ * otherwise). One searched matrix serves every member of the set —
+ * the invariant is per-matrix, so the joint search inherits it
+ * unchanged.
  *
  * ## Determinism
  *
@@ -42,7 +46,11 @@
  * result into a preallocated slot, so running restarts across a
  * `ThreadPool` is bit-identical to running them serially
  * (`SearchOptions::threads = 1`; asserted in
- * `tests/bim_search_test.cc`).
+ * `tests/bim_search_test.cc` and, for joint sets, in
+ * `tests/joint_search_test.cc`). The evaluation budget
+ * (`maxEvaluations`) is split per chain and counted deterministically;
+ * wall-clock is *reported* in `SearchStats` but never feeds back into
+ * control, so timing noise cannot change any result.
  */
 
 #ifndef VALLEY_SEARCH_BIM_SEARCH_HH
@@ -61,13 +69,15 @@ namespace search {
 
 /**
  * Search behavior version. Folded into the harness result-cache key
- * for SBIM cells: the searched matrix depends on every default in
- * `SearchOptions`/`FlatnessObjective` and on the move set, none of
- * which appear in the (workload, scheme, seed, scale) key. Bump this
- * whenever a change alters which matrix a given seed produces, or
- * cached SBIM grid cells go stale silently.
+ * for SBIM/GBIM cells and into the SBIM cache key: the searched
+ * matrix depends on every default in `SearchOptions`/`JointObjective`
+ * and on the move set, none of which appear in the (workload, scheme,
+ * seed, scale) key. Bump this whenever a change alters which matrix a
+ * given seed produces, or cached grid cells go stale silently.
+ * s2: workload-set refactor — joint scoring, per-chain evaluation
+ * budgets, escaped order-canonical cache keys.
  */
-inline constexpr const char *kSearchVersion = "s1";
+inline constexpr const char *kSearchVersion = "s2";
 
 /** Search budget and space knobs. */
 struct SearchOptions
@@ -92,6 +102,15 @@ struct SearchOptions
     unsigned window = 12;        ///< TB window w (#SMs, Section III-A)
     EntropyMetric metric = EntropyMetric::BitProbability;
 
+    /**
+     * Joint-search member-cost combiner. The `searchSet` pipeline
+     * copies it into the `JointObjective` it builds (and the SBIM
+     * cache key records it); a directly constructed `BimSearch` uses
+     * whatever combiner its `JointObjective` carries. Size-1 sets:
+     * both combiners reduce to the member cost.
+     */
+    JointCombiner combiner = JointCombiner::Mean;
+
     std::uint64_t seed = 1;      ///< master seed; see class comment
     unsigned restarts = 4;       ///< independent annealing chains
     unsigned iterations = 1200;  ///< moves per chain
@@ -100,27 +119,59 @@ struct SearchOptions
     unsigned minTaps = 1;        ///< minimum taps per target row
 
     /**
+     * Hard cap on `rowEntropy` evaluations per search run — `anneal()`
+     * and `greedy()` each enforce it independently; 0 = unlimited.
+     * The budget is split evenly across restarts and each chain stops
+     * at the first move boundary at or past its share (the
+     * initial-state evaluation always runs, so a chain always returns
+     * a scored state). Deterministic: the cap is counted, never
+     * timed, so capped runs stay bit-identical at any thread count.
+     */
+    std::uint64_t maxEvaluations = 0;
+
+    /**
      * Worker threads for the restart fan-out: 1 = serial, 0 = one per
      * hardware thread. Bit-identical at any thread count.
      */
     unsigned threads = 0;
 };
 
-/** Counters describing one search run. */
+/**
+ * Counters describing one search run. The second block reports
+ * per-phase wall-clock, summed across chains (so parallel runs report
+ * aggregate chain-seconds next to `totalSeconds` wall time). Time is
+ * informational only — no control decision reads it — which keeps the
+ * search deterministic while making budget tuning observable.
+ */
 struct SearchStats
 {
     std::uint64_t evaluations = 0;      ///< rowEntropy calls
     std::uint64_t accepted = 0;         ///< accepted moves
     std::uint64_t rejectedSingular = 0; ///< moves failing the rank check
+    bool capped = false;   ///< a chain hit its maxEvaluations share
+
+    double setupSeconds = 0.0;  ///< start-state draw + initial scoring
+    double annealSeconds = 0.0; ///< cooling-phase move loop
+    double polishSeconds = 0.0; ///< zero-temperature descent
+    double totalSeconds = 0.0;  ///< wall clock of the whole call
 };
 
 /** Outcome of `BimSearch::anneal` or `BimSearch::greedy`. */
 struct SearchResult
 {
     BitMatrix bim;                    ///< best invertible matrix found
-    double cost = 0.0;                ///< objective of `bim`
-    double identityCost = 0.0;        ///< objective of the identity BIM
-    std::vector<double> targetEntropy;///< per-target entropy of `bim`
+    double cost = 0.0;                ///< joint objective of `bim`
+    double identityCost = 0.0;        ///< joint objective of identity
+    /**
+     * Per-target entropy of `bim`, averaged uniformly across the set
+     * members. For a size-1 set this is the member's entropy
+     * verbatim (bit-identical to the pre-set single-workload search).
+     */
+    std::vector<double> targetEntropy;
+    /** Per-member per-target entropy of `bim`: [member][target]. */
+    std::vector<std::vector<double>> memberTargetEntropy;
+    /** Per-member flatness cost of `bim`, set member order. */
+    std::vector<double> memberCosts;
     unsigned bestRestart = 0;         ///< chain that produced `bim`
     SearchStats stats;                ///< summed across chains
 
@@ -131,20 +182,33 @@ struct SearchResult
 };
 
 /**
- * Simulated-annealing BIM search over one workload's trace planes.
+ * Simulated-annealing BIM search over the trace planes of a workload
+ * set (one `TracePlanes` per member, all the same bit width).
  *
- * The `TracePlanes` reference must outlive the search; it is read
+ * Every `TracePlanes` must outlive the search; they are read
  * concurrently by parallel restarts and never mutated.
  */
 class BimSearch
 {
   public:
     /**
+     * Joint search over a set.
+     *
      * @param layout DRAM layout providing default targets/candidates
-     * @param planes bit-plane representation of the profiled workload
-     * @param objective entropy-flatness cost (see objective.hh)
+     * @param planes one bit-plane representation per set member
+     *               (non-owning; members() order of the set)
+     * @param objective joint entropy-flatness cost (see objective.hh)
      * @param opts   budget/space knobs; empty targets and zero mask
      *               default from `layout` as documented above
+     */
+    BimSearch(const AddressLayout &layout,
+              std::vector<const TracePlanes *> planes,
+              JointObjective objective, SearchOptions opts);
+
+    /**
+     * Single-workload search: the size-1 special case. Wraps
+     * `objective` in a `JointObjective` whose Mean combiner over one
+     * member reproduces the per-workload cost exactly.
      */
     BimSearch(const AddressLayout &layout, const TracePlanes &planes,
               FlatnessObjective objective, SearchOptions opts);
@@ -159,8 +223,11 @@ class BimSearch
      */
     SearchResult greedy() const;
 
-    /** Objective of the identity mapping on these planes. */
+    /** Joint objective of the identity mapping on these planes. */
     double identityCost() const;
+
+    /** Number of set members being searched jointly. */
+    std::size_t numMembers() const { return planes_.size(); }
 
     /** Resolved target output bits (after layout defaulting). */
     const std::vector<unsigned> &targets() const { return targets_; }
@@ -174,12 +241,19 @@ class BimSearch
     /** Run one chain from its deterministic per-restart seed. */
     SearchResult runChain(unsigned restart, bool greedy) const;
 
+    /**
+     * Per-chain evaluation budget (0 = unlimited): the full cap for
+     * the greedy baseline's single chain, a 1/restarts share for
+     * each annealing chain.
+     */
+    std::uint64_t chainBudget(bool greedy) const;
+
     unsigned nbits;
     std::vector<unsigned> targets_;
     std::vector<unsigned> candidateBits; ///< set bits of mask_
     std::uint64_t mask_ = 0;
-    const TracePlanes &planes;
-    FlatnessObjective objective;
+    std::vector<const TracePlanes *> planes_;
+    JointObjective objective;
     SearchOptions opts;
 };
 

@@ -6,6 +6,7 @@
 #include <map>
 #include <mutex>
 #include <sstream>
+#include <stdexcept>
 
 #include "harness/result_cache.hh"
 
@@ -95,23 +96,48 @@ loadOnceLocked()
 
 } // namespace
 
+namespace {
+
+/** Shared tail of both key forms: every outcome-shaping knob. */
 std::string
-sbimCacheKey(const std::string &workload_key, double scale,
+keyFromField(const std::string &escaped_workload_field, double scale,
              const std::string &layout_name, const SearchOptions &opts)
 {
     std::ostringstream out;
     out.precision(17);
     out << kSbimCacheVersion << ';' << kSearchVersion << ';'
-        << workload_key << ';' << scale << ';' << layout_name << ';';
+        << escaped_workload_field << ';' << scale << ';'
+        << workloads::escapeSpecField(layout_name) << ';';
     out << 't';
     for (unsigned t : opts.targets)
         out << '.' << t;
     out << ";c" << std::hex << opts.candidateMask << std::dec << ';'
         << opts.window << ';' << static_cast<int>(opts.metric) << ';'
-        << opts.seed << ';' << opts.restarts << ';' << opts.iterations
-        << ';' << opts.initialTemp << ';' << opts.finalTemp << ';'
-        << opts.minTaps;
+        << combinerName(opts.combiner) << ';' << opts.seed << ';'
+        << opts.restarts << ';' << opts.iterations << ';'
+        << opts.initialTemp << ';' << opts.finalTemp << ';'
+        << opts.minTaps << ";e" << opts.maxEvaluations;
     return out.str();
+}
+
+} // namespace
+
+std::string
+sbimCacheKey(const std::string &workload_key, double scale,
+             const std::string &layout_name, const SearchOptions &opts)
+{
+    return keyFromField(workloads::escapeSpecField(workload_key),
+                        scale, layout_name, opts);
+}
+
+std::string
+sbimCacheKey(const workloads::WorkloadSet &set, double scale,
+             const std::string &layout_name, const SearchOptions &opts)
+{
+    // set.key() is already member-wise escaped and ','-joined; a
+    // size-1 set's key is exactly escapeSpecField(member), making the
+    // two overloads agree on singletons.
+    return keyFromField(set.key(), scale, layout_name, opts);
 }
 
 SearchResult
@@ -141,6 +167,17 @@ sbimCacheLookup(const std::string &key)
 void
 sbimCacheStore(const std::string &key, const SearchResult &r)
 {
+    // Reject-at-the-sink guard: a key with a raw newline would split
+    // into two bogus CSV lines, one with '|' would truncate at the
+    // wrong payload separator. Keys built via sbimCacheKey are
+    // escaped and can never trip this; a hand-built key that does is
+    // a caller bug worth surfacing loudly.
+    if (key.find('\n') != std::string::npos ||
+        key.find('\r') != std::string::npos ||
+        key.find('|') != std::string::npos)
+        throw std::invalid_argument(
+            "sbimCacheStore: key contains a newline or '|' — "
+            "escape fields with workloads::escapeSpecField");
     if (!harness::cacheEnabled())
         return;
     std::lock_guard<std::mutex> lock(mutex);

@@ -26,6 +26,7 @@
 #include <string>
 
 #include "search/bim_search.hh"
+#include "workloads/workload_set.hh"
 
 namespace valley {
 namespace search {
@@ -39,11 +40,30 @@ std::string sbimCachePath();
 /**
  * Unique key of one search: workload key (abbreviation or canonical
  * synth spec), problem scale, layout name, and the full search
- * configuration (targets, candidate mask, window, metric, seed,
- * budget, temperatures, min taps) plus `kSearchVersion`.
+ * configuration (targets, candidate mask, window, metric, combiner,
+ * seed, budget caps, temperatures, min taps) plus `kSearchVersion`.
+ *
+ * The workload key and layout name are percent-escaped
+ * (`workloads::escapeSpecField`) before entering the key: synth specs
+ * contain commas, and a raw separator or newline inside a field would
+ * make the one-line-per-entry CSV ambiguous. `sbimCacheStore`
+ * additionally *rejects* keys still containing a newline or the '|'
+ * payload separator — escaping at the source plus rejection at the
+ * sink, so no spec string can corrupt the file.
  */
 std::string sbimCacheKey(const std::string &workload_key, double scale,
                          const std::string &layout_name,
+                         const SearchOptions &opts);
+
+/**
+ * Key of a joint search over a workload set. Uses the set's
+ * order-canonical escaped `key()`, so any spelling of the same set —
+ * reordered members, reordered synth parameters, duplicates — hits
+ * the same cache line. A size-1 set keys identically to the
+ * single-workload overload with that member.
+ */
+std::string sbimCacheKey(const workloads::WorkloadSet &set,
+                         double scale, const std::string &layout_name,
                          const SearchOptions &opts);
 
 /**

@@ -2,7 +2,9 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 
+#include "common/fnv.hh"
 #include "harness/profile_cache.hh"
 #include "search/sbim_cache.hh"
 #include "workloads/profiler.hh"
@@ -31,19 +33,25 @@ defaultObjective(const AddressLayout &layout)
     return defaultObjective(layout, layout.randomizeTargets());
 }
 
+JointObjective
+defaultJointObjective(const AddressLayout &layout,
+                      const std::vector<unsigned> &targets,
+                      JointCombiner combiner)
+{
+    JointObjective obj;
+    obj.flatness = defaultObjective(layout, targets);
+    obj.combiner = combiner;
+    return obj;
+}
+
 std::string
 sbimMapperId(const BitMatrix &bim, std::uint64_t seed)
 {
     // FNV-1a over the row masks: cheap, stable, and sensitive to any
     // row change, so distinct matrices get distinct cache ids.
-    std::uint64_t h = 0xCBF29CE484222325ull;
-    for (unsigned r = 0; r < bim.size(); ++r) {
-        std::uint64_t row = bim.row(r);
-        for (unsigned byte = 0; byte < 8; ++byte) {
-            h ^= (row >> (8 * byte)) & 0xFF;
-            h *= 0x100000001B3ull;
-        }
-    }
+    std::uint64_t h = bits::kFnvOffsetBasis;
+    for (unsigned r = 0; r < bim.size(); ++r)
+        h = bits::fnv1aU64(h, bim.row(r));
     char buf[64];
     std::snprintf(buf, sizeof buf, "SBIM-%llu-%016llx",
                   static_cast<unsigned long long>(seed),
@@ -60,25 +68,48 @@ defaultOptions(const AddressLayout &layout)
     return opts;
 }
 
+std::string
+jointMapperName(const workloads::WorkloadSet &set)
+{
+    return set.size() == 1 ? "SBIM" : "GBIM";
+}
+
 namespace {
 
 /**
- * The one shared search pipeline. Both public entry points go
- * through this, so the matrix fig10 gets from `searchedMapper` and
- * the profile `searchWorkload` stores under that matrix's hash can
- * never come from diverging copies of the setup code.
+ * The one shared joint-search pipeline. Every public entry point —
+ * set or single-workload — goes through this, so the matrix the
+ * harness gets from `setMapper` and the profiles `searchSet` stores
+ * under that matrix's hash can never come from diverging copies of
+ * the setup code.
+ *
+ * Member workloads are rebuilt from their canonical names and their
+ * planes extracted in `set.members()` order; the planes then feed
+ * one `BimSearch` scoring every candidate row against all members.
  */
-struct Pipeline
+struct SetPipeline
 {
-    TracePlanes planes;
-    BimSearch searcher;
+    std::vector<std::unique_ptr<Workload>> workloads;
+    std::vector<TracePlanes> planes;
+    std::unique_ptr<BimSearch> searcher;
 
-    Pipeline(const Workload &workload, const AddressLayout &layout,
-             const SearchOptions &opts)
-        : planes(workload, PlaneOptions{layout.addrBits, opts.threads}),
-          searcher(layout, planes,
-                   defaultObjective(layout, opts.targets), opts)
+    SetPipeline(const workloads::WorkloadSet &set,
+                const AddressLayout &layout, const SearchOptions &opts,
+                double scale)
+        : workloads(set.build(scale))
     {
+        planes.reserve(workloads.size());
+        for (const auto &wl : workloads)
+            planes.emplace_back(
+                *wl, PlaneOptions{layout.addrBits, opts.threads});
+        std::vector<const TracePlanes *> ptrs;
+        ptrs.reserve(planes.size());
+        for (const TracePlanes &p : planes)
+            ptrs.push_back(&p);
+        searcher = std::make_unique<BimSearch>(
+            layout, std::move(ptrs),
+            defaultJointObjective(layout, opts.targets, opts.combiner),
+            opts);
     }
 };
 
@@ -94,66 +125,123 @@ defaultFromLayout(SearchOptions &opts, const AddressLayout &layout)
 
 } // namespace
 
-WorkloadSearchResult
-searchWorkload(const Workload &workload, const AddressLayout &layout,
-               SearchOptions opts, double scale)
+SetSearchResult
+searchSet(const workloads::WorkloadSet &set,
+          const AddressLayout &layout, SearchOptions opts,
+          double scale)
 {
     defaultFromLayout(opts, layout);
 
-    WorkloadSearchResult out;
+    SetSearchResult out;
 
-    // Identity profile through the on-disk cache: repeated service
+    const std::string cache_key =
+        sbimCacheKey(set, scale, layout.name, opts);
+    const auto cached = sbimCacheLookup(cache_key);
+
+    const SetPipeline pipe(set, layout, opts, scale);
+
+    // Identity profiles through the on-disk cache: repeated service
     // invocations (and the Fig. 5/10 benches) share the computation.
     workloads::ProfileOptions po;
     po.window = opts.window;
     po.numBits = layout.addrBits;
     po.metric = opts.metric;
     po.threads = opts.threads;
-    out.identityProfile =
-        harness::profileWorkloadCached(workload, po, scale, "");
+    out.identityProfiles.reserve(set.size());
+    for (const auto &wl : pipe.workloads)
+        out.identityProfiles.push_back(
+            harness::profileWorkloadCached(*wl, po, scale, ""));
 
-    const std::string cache_key = sbimCacheKey(
-        workload.info().abbrev, scale, layout.name, opts);
-    const auto cached = sbimCacheLookup(cache_key);
-
-    const Pipeline pipe(workload, layout, opts);
     out.annealed =
-        cached ? cached->toResult() : pipe.searcher.anneal();
-    out.greedyBaseline = pipe.searcher.greedy();
+        cached ? cached->toResult() : pipe.searcher->anneal();
+    out.greedyBaseline = pipe.searcher->greedy();
     if (!cached)
         sbimCacheStore(cache_key, out.annealed);
 
-    out.searchedProfile = pipe.planes.profileFor(
-        out.annealed.bim, opts.window, opts.metric);
-    // Persist under the matrix-hashed SBIM mapper id so Fig. 10-style
-    // benches can chart this exact searched mapping without
-    // re-profiling (and never collide with a different-budget run).
-    harness::profileCacheStore(
-        harness::profileCacheKey(
-            workload.info().abbrev,
-            sbimMapperId(out.annealed.bim, opts.seed), po.window,
-            po.numBits, po.metric, scale),
-        out.searchedProfile);
+    // Per-member searched profiles, persisted under the matrix-hashed
+    // SBIM mapper id so Fig. 10-style benches can chart this exact
+    // searched mapping without re-profiling (and never collide with a
+    // different-budget or different-set run).
+    const std::string mapper_id =
+        sbimMapperId(out.annealed.bim, opts.seed);
+    out.searchedProfiles.reserve(set.size());
+    for (std::size_t m = 0; m < pipe.planes.size(); ++m) {
+        EntropyProfile p = pipe.planes[m].profileFor(
+            out.annealed.bim, opts.window, opts.metric);
+        harness::profileCacheStore(
+            harness::profileCacheKey(set.members()[m], mapper_id,
+                                     po.window, po.numBits, po.metric,
+                                     scale),
+            p);
+        out.searchedProfiles.push_back(std::move(p));
+    }
+
+    // A cache hit deserializes only (bim, costs, aggregate entropy);
+    // rebuild the per-member breakdown from the searched profiles —
+    // the same rowEntropy arithmetic the live search used, so hit and
+    // miss report identical numbers.
+    if (out.annealed.memberTargetEntropy.empty()) {
+        const unsigned gates = out.annealed.bim.xorGateCount();
+        const FlatnessObjective flat =
+            defaultObjective(layout, opts.targets);
+        out.annealed.memberTargetEntropy.resize(set.size());
+        out.annealed.memberCosts.resize(set.size());
+        for (std::size_t m = 0; m < set.size(); ++m) {
+            auto &ent = out.annealed.memberTargetEntropy[m];
+            ent.resize(opts.targets.size());
+            for (std::size_t i = 0; i < opts.targets.size(); ++i)
+                ent[i] =
+                    out.searchedProfiles[m].perBit[opts.targets[i]];
+            out.annealed.memberCosts[m] = flat.cost(ent, gates);
+        }
+    }
+    return out;
+}
+
+std::unique_ptr<AddressMapper>
+setMapper(const AddressLayout &layout,
+          const workloads::WorkloadSet &set,
+          const SearchOptions &opts_in, double scale, std::string name)
+{
+    SearchOptions opts = opts_in;
+    defaultFromLayout(opts, layout);
+    // A cache hit skips the whole pipeline — including trace-plane
+    // extraction for every member — so repeated SBIM/GBIM grid cells
+    // pay only the lookup.
+    const std::string cache_key =
+        sbimCacheKey(set, scale, layout.name, opts);
+    if (name.empty())
+        name = jointMapperName(set);
+    if (auto cached = sbimCacheLookup(cache_key))
+        return mapping::makeCustom(name, layout,
+                                   std::move(cached->bim));
+    const SetPipeline pipe(set, layout, opts, scale);
+    SearchResult best = pipe.searcher->anneal();
+    sbimCacheStore(cache_key, best);
+    return mapping::makeCustom(name, layout, std::move(best.bim));
+}
+
+WorkloadSearchResult
+searchWorkload(const Workload &workload, const AddressLayout &layout,
+               SearchOptions opts, double scale)
+{
+    const workloads::WorkloadSet set({workload.info().abbrev});
+    SetSearchResult r = searchSet(set, layout, std::move(opts), scale);
+    WorkloadSearchResult out;
+    out.annealed = std::move(r.annealed);
+    out.greedyBaseline = std::move(r.greedyBaseline);
+    out.identityProfile = std::move(r.identityProfiles[0]);
+    out.searchedProfile = std::move(r.searchedProfiles[0]);
     return out;
 }
 
 std::unique_ptr<AddressMapper>
 searchedMapper(const AddressLayout &layout, const Workload &workload,
-               const SearchOptions &opts_in, double scale)
+               const SearchOptions &opts, double scale)
 {
-    SearchOptions opts = opts_in;
-    defaultFromLayout(opts, layout);
-    // A cache hit skips the whole pipeline — including trace-plane
-    // extraction — so repeated SBIM grid cells pay only the lookup.
-    const std::string cache_key = sbimCacheKey(
-        workload.info().abbrev, scale, layout.name, opts);
-    if (auto cached = sbimCacheLookup(cache_key))
-        return mapping::makeCustom("SBIM", layout,
-                                   std::move(cached->bim));
-    const Pipeline pipe(workload, layout, opts);
-    SearchResult best = pipe.searcher.anneal();
-    sbimCacheStore(cache_key, best);
-    return mapping::makeCustom("SBIM", layout, std::move(best.bim));
+    return setMapper(layout,
+                     workloads::WorkloadSet({workload.info().abbrev}),
+                     opts, scale);
 }
 
 } // namespace search

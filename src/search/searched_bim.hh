@@ -1,8 +1,15 @@
 /**
  * @file
- * Front-end glue of the mapping service: one-call search over a
- * workload, profile-cache integration, and the `AddressMapper`
- * wrapping used by the harness' SBIM scheme and `tools/valley_search`.
+ * Front-end glue of the mapping service: one-call joint search over a
+ * `workloads::WorkloadSet`, profile-cache integration, and the
+ * `AddressMapper` wrapping used by the harness' SBIM/GBIM schemes and
+ * `tools/valley_search`.
+ *
+ * The set is the first-class unit: `searchSet`/`setMapper` anneal one
+ * invertible BIM against every member at once, and the historical
+ * single-workload entry points (`searchWorkload`/`searchedMapper`)
+ * are thin wrappers over a size-1 set — bit-identical to the joint
+ * path by construction (asserted in `tests/joint_search_test.cc`).
  */
 
 #ifndef VALLEY_SEARCH_SEARCHED_BIM_HH
@@ -12,6 +19,7 @@
 
 #include "mapping/address_mapper.hh"
 #include "search/bim_search.hh"
+#include "workloads/workload_set.hh"
 
 namespace valley {
 namespace search {
@@ -30,10 +38,19 @@ FlatnessObjective defaultObjective(const AddressLayout &layout,
 FlatnessObjective defaultObjective(const AddressLayout &layout);
 
 /**
+ * Default joint objective: `defaultObjective` per member, uniform
+ * member weights, member costs folded by `combiner`.
+ */
+JointObjective defaultJointObjective(const AddressLayout &layout,
+                                     const std::vector<unsigned> &targets,
+                                     JointCombiner combiner);
+
+/**
  * Profile-cache mapper id of a searched BIM: "SBIM-<seed>-<hash of
  * the matrix rows>". The hash makes the id unique per *matrix*, as
  * `profileCacheKey` requires — two searches with the same seed but
- * different budgets (or target sets) produce different ids.
+ * different budgets (or target sets, or workload sets) produce
+ * different ids.
  */
 std::string sbimMapperId(const BitMatrix &bim, std::uint64_t seed);
 
@@ -44,6 +61,14 @@ std::string sbimMapperId(const BitMatrix &bim, std::uint64_t seed);
  */
 SearchOptions defaultOptions(const AddressLayout &layout);
 
+/**
+ * Mapper name of a searched set mapping: "SBIM" for a size-1 set
+ * (the per-workload searched BIM of Figs. 10/12), "GBIM" for a real
+ * set — the *global* searched BIM, the profile-driven counterpart of
+ * the paper's one-size-fits-all RMP.
+ */
+std::string jointMapperName(const workloads::WorkloadSet &set);
+
 /** Everything the CLI reports about one workload search. */
 struct WorkloadSearchResult
 {
@@ -53,20 +78,60 @@ struct WorkloadSearchResult
     EntropyProfile searchedProfile; ///< profile under `annealed.bim`
 };
 
+/** Everything the CLI reports about one joint set search. */
+struct SetSearchResult
+{
+    SearchResult annealed;          ///< best joint matrix
+    SearchResult greedyBaseline;    ///< hill-climbing baseline
+    /** Per-member profile under BASE, `set.members()` order. */
+    std::vector<EntropyProfile> identityProfiles;
+    /** Per-member profile under `annealed.bim`, same order. */
+    std::vector<EntropyProfile> searchedProfiles;
+};
+
 /**
- * Run the full search pipeline over one workload: profile it under
- * the identity mapping through the on-disk profile cache
- * (`harness::profileWorkloadCached`; `scale` keys the cache entry),
- * build `TracePlanes`, anneal plus the greedy baseline, and store the
- * searched profile back into the profile cache under
- * `sbimMapperId(...)` so figure benches reuse it. Empty `opts.targets` and
- * a zero `opts.candidateMask` default from the layout; the objective
- * is `defaultObjective(layout)`.
+ * Run the full joint search pipeline over a workload set: profile
+ * every member under the identity mapping through the on-disk
+ * profile cache (`harness::profileWorkloadCached`; `scale` keys the
+ * cache entries), build one `TracePlanes` per member, anneal a single
+ * BIM against all of them (plus the greedy baseline), and store each
+ * member's searched profile back into the profile cache under
+ * `sbimMapperId(...)` so figure benches reuse them. Empty
+ * `opts.targets` and a zero `opts.candidateMask` default from the
+ * layout; the objective is
+ * `defaultJointObjective(layout, opts.targets, opts.combiner)`.
  *
- * The annealed matrix is memoized in the on-disk SBIM cache
- * (`sbim_cache.hh`): a hit skips the annealing restarts (the greedy
- * baseline and profiles still run — they are what the caller asked
- * to see) and reports zero search statistics.
+ * The annealed matrix is memoized in the on-disk SBIM cache under the
+ * set's order-canonical key (`sbim_cache.hh`): a hit skips the
+ * annealing restarts (the greedy baseline and profiles still run —
+ * they are what the caller asked to see) and reports zero search
+ * statistics; its member cost breakdown is reconstructed from the
+ * searched profiles, so hit and miss report the same numbers.
+ */
+SetSearchResult searchSet(const workloads::WorkloadSet &set,
+                          const AddressLayout &layout,
+                          SearchOptions opts, double scale);
+
+/**
+ * Search a set and wrap the best matrix as an `AddressMapper` named
+ * `name` (empty = `jointMapperName(set)`; the harness passes "GBIM"
+ * explicitly so a degenerate size-1 GBIM grid cell still reports the
+ * scheme that was requested). Deterministic in (set, layout, opts,
+ * scale) — the name is a label, not part of the cache key. `scale`
+ * must be the factor the member workloads are built with; it keys
+ * the on-disk SBIM cache, which lets repeated grid runs skip both
+ * the search *and* the trace-plane extraction.
+ */
+std::unique_ptr<AddressMapper> setMapper(
+    const AddressLayout &layout, const workloads::WorkloadSet &set,
+    const SearchOptions &opts, double scale, std::string name = "");
+
+/**
+ * Single-workload search: `searchSet` over the size-1 set
+ * `{workload.info().abbrev}`. The workload must be identified by its
+ * abbreviation (or canonical synth spec) together with `scale` —
+ * true for anything built by `workloads::make` — because the set
+ * pipeline rebuilds members from their names.
  */
 WorkloadSearchResult searchWorkload(const Workload &workload,
                                     const AddressLayout &layout,
@@ -74,12 +139,10 @@ WorkloadSearchResult searchWorkload(const Workload &workload,
 
 /**
  * Search a workload and wrap the best matrix as an `AddressMapper`
- * named "SBIM" — the profile-driven counterpart of
- * `mapping::makeScheme`. Deterministic in (workload, layout, opts,
- * scale). `scale` must be the factor the workload was built with
- * (deliberately no default: a mismatched scale would mislabel the
- * cache key); it keys the on-disk SBIM cache, which lets repeated
- * grid runs skip both the search *and* the trace-plane extraction.
+ * named "SBIM" — `setMapper` over the size-1 set. Deterministic in
+ * (workload, layout, opts, scale). `scale` must be the factor the
+ * workload was built with (deliberately no default: a mismatched
+ * scale would mislabel the cache key).
  */
 std::unique_ptr<AddressMapper> searchedMapper(
     const AddressLayout &layout, const Workload &workload,

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/fnv.hh"
 #include "synth/patterns.hh"
 
 namespace valley {
@@ -289,12 +290,7 @@ ResolvedSpec::hash() const
 {
     // FNV-1a over the canonical string: stable across runs and
     // platforms, so on-disk caches can key on it.
-    std::uint64_t h = 0xCBF29CE484222325ull;
-    for (char c : canonical()) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 0x100000001B3ull;
-    }
-    return h;
+    return bits::fnv1a(canonical());
 }
 
 const std::vector<FamilyInfo> &

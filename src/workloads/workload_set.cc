@@ -1,0 +1,131 @@
+#include "workloads/workload_set.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/fnv.hh"
+#include "synth/registry.hh"
+#include "synth/spec.hh"
+
+namespace valley {
+namespace workloads {
+
+std::string
+escapeSpecField(const std::string &field)
+{
+    static const char *hex = "0123456789ABCDEF";
+    std::string out;
+    out.reserve(field.size());
+    for (char ch : field) {
+        switch (ch) {
+          case '%':
+          case ',':
+          case ';':
+          case '|':
+          case '\n':
+          case '\r':
+            out += '%';
+            out += hex[(static_cast<unsigned char>(ch) >> 4) & 0xF];
+            out += hex[static_cast<unsigned char>(ch) & 0xF];
+            break;
+          default:
+            out += ch;
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** Canonical form of one member name; throws on unknown names. */
+std::string
+canonicalMember(const std::string &name)
+{
+    if (synth::isSynthSpec(name))
+        return synth::resolve(name).canonical();
+    const auto &all = allSet();
+    if (std::find(all.begin(), all.end(), name) == all.end())
+        throw std::invalid_argument(
+            "WorkloadSet: unknown workload \"" + name +
+            "\" (not a Table II abbreviation or synth: spec)");
+    return name;
+}
+
+} // namespace
+
+WorkloadSet::WorkloadSet(std::vector<std::string> members)
+{
+    if (members.empty())
+        throw std::invalid_argument("WorkloadSet: empty member list");
+    members_.reserve(members.size());
+    for (const std::string &m : members)
+        members_.push_back(canonicalMember(m));
+    std::sort(members_.begin(), members_.end());
+    members_.erase(std::unique(members_.begin(), members_.end()),
+                   members_.end());
+
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i)
+            key_ += ',';
+        key_ += escapeSpecField(members_[i]);
+    }
+    hash_ = bits::fnv1a(key_);
+}
+
+WorkloadSet
+WorkloadSet::parse(const std::string &list)
+{
+    std::vector<std::string> members;
+    std::string fragment;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? list.size() : comma;
+        fragment = list.substr(start, end - start);
+        if (!fragment.empty()) {
+            // `key=value` fragments are synth spec parameters split
+            // off by the comma scan: glue them back onto the
+            // preceding synth member.
+            if (fragment.find('=') != std::string::npos &&
+                !synth::isSynthSpec(fragment)) {
+                if (members.empty() ||
+                    !synth::isSynthSpec(members.back()))
+                    throw std::invalid_argument(
+                        "WorkloadSet: parameter fragment \"" +
+                        fragment + "\" without a preceding synth: "
+                        "member");
+                members.back() += ',' + fragment;
+            } else {
+                members.push_back(fragment);
+            }
+        }
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return WorkloadSet(std::move(members));
+}
+
+std::string
+WorkloadSet::shortId() const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "set-%016llx",
+                  static_cast<unsigned long long>(hash_));
+    return buf;
+}
+
+std::vector<std::unique_ptr<Workload>>
+WorkloadSet::build(double scale) const
+{
+    std::vector<std::unique_ptr<Workload>> out;
+    out.reserve(members_.size());
+    for (const std::string &m : members_)
+        out.push_back(make(m, scale));
+    return out;
+}
+
+} // namespace workloads
+} // namespace valley

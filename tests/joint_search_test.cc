@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Tests for the joint ("global") BIM search over workload sets:
+ * the `JointObjective` combiners, bit-identical serial/parallel
+ * restarts on a multi-member set, set-order invariance of both the
+ * search result and the cache key, the size-1 set reducing exactly
+ * to the single-workload search, the `maxEvaluations` budget cap,
+ * and `Scheme::GBIM` end-to-end through `harness::runGrid` with
+ * cache hits on repeat runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <unistd.h>
+
+#include "harness/experiment.hh"
+#include "search/sbim_cache.hh"
+#include "search/searched_bim.hh"
+#include "workloads/workload_set.hh"
+
+using namespace valley;
+using namespace valley::search;
+using workloads::WorkloadSet;
+
+namespace {
+
+constexpr double kScale = 0.25;
+
+AddressLayout
+gddr5()
+{
+    return AddressLayout::hynixGddr5();
+}
+
+/** Planes for every member of a set, plus the pointer view. */
+struct SetPlanes
+{
+    std::vector<std::unique_ptr<Workload>> wls;
+    std::vector<TracePlanes> planes;
+
+    explicit SetPlanes(const WorkloadSet &set)
+        : wls(set.build(kScale))
+    {
+        planes.reserve(wls.size());
+        for (const auto &w : wls)
+            planes.emplace_back(*w, PlaneOptions{30, 1});
+    }
+
+    std::vector<const TracePlanes *>
+    ptrs() const
+    {
+        std::vector<const TracePlanes *> out;
+        for (const TracePlanes &p : planes)
+            out.push_back(&p);
+        return out;
+    }
+};
+
+SearchOptions
+smallOptions(const AddressLayout &layout)
+{
+    SearchOptions o = defaultOptions(layout);
+    o.threads = 1;
+    o.restarts = 2;
+    o.iterations = 200;
+    return o;
+}
+
+/** Scoped VALLEY_CACHE=0 so searches run live, never touch disk. */
+struct CacheOff
+{
+    CacheOff() { setenv("VALLEY_CACHE", "0", 1); }
+    ~CacheOff() { unsetenv("VALLEY_CACHE"); }
+};
+
+} // namespace
+
+TEST(JointObjective, MeanOfOneMemberIsTheMemberCost)
+{
+    JointObjective obj;
+    const double costs[] = {0.37};
+    EXPECT_EQ(obj.combine(costs), 0.37);
+}
+
+TEST(JointObjective, CombinersFoldAsDocumented)
+{
+    JointObjective obj;
+    const double costs[] = {0.2, 0.6, 0.1};
+    EXPECT_NEAR(obj.combine(costs), 0.3, 1e-12);
+    obj.combiner = JointCombiner::WorstCase;
+    EXPECT_EQ(obj.combine(costs), 0.6);
+    // Member weights skew the mean (and are ignored by WorstCase).
+    obj.combiner = JointCombiner::Mean;
+    obj.memberWeights = {1.0, 2.0, 1.0};
+    EXPECT_NEAR(obj.combine(costs), (0.2 + 1.2 + 0.1) / 4.0, 1e-12);
+    EXPECT_EQ(combinerName(JointCombiner::Mean),
+              std::string("mean"));
+    EXPECT_EQ(combinerName(JointCombiner::WorstCase),
+              std::string("worst"));
+}
+
+TEST(JointSearch, ParallelRestartsBitIdenticalToSerialOnSet)
+{
+    const AddressLayout layout = gddr5();
+    const WorkloadSet set({"MT", "LU", "synth:strided"});
+    const SetPlanes sp(set);
+
+    SearchOptions serial = smallOptions(layout);
+    serial.restarts = 3;
+    SearchOptions parallel = serial;
+    parallel.threads = 3;
+
+    const JointObjective obj = defaultJointObjective(
+        layout, serial.targets, JointCombiner::Mean);
+    const BimSearch ss(layout, sp.ptrs(), obj, serial);
+    const BimSearch ps(layout, sp.ptrs(), obj, parallel);
+    const SearchResult a = ss.anneal();
+    const SearchResult b = ps.anneal();
+    EXPECT_TRUE(a.bim == b.bim);
+    EXPECT_EQ(a.cost, b.cost);
+    EXPECT_EQ(a.identityCost, b.identityCost);
+    EXPECT_EQ(a.bestRestart, b.bestRestart);
+    EXPECT_EQ(a.stats.evaluations, b.stats.evaluations);
+    EXPECT_EQ(a.stats.accepted, b.stats.accepted);
+    EXPECT_EQ(a.memberCosts, b.memberCosts);
+    EXPECT_EQ(a.memberTargetEntropy, b.memberTargetEntropy);
+}
+
+TEST(JointSearch, JointMatrixImprovesEveryMemberHere)
+{
+    // One matrix against a 3-member set: the joint objective must
+    // strictly beat identity, and on these valley-shaped members no
+    // one should be left behind (that is what the min term plus the
+    // joint mean is for).
+    const AddressLayout layout = gddr5();
+    const WorkloadSet set({"MT", "LU", "synth:stencil3d"});
+    const SetPlanes sp(set);
+    SearchOptions opts = smallOptions(layout);
+    opts.iterations = 400;
+    const BimSearch s(layout, sp.ptrs(),
+                      defaultJointObjective(layout, opts.targets,
+                                            JointCombiner::Mean),
+                      opts);
+    const SearchResult r = s.anneal();
+    EXPECT_TRUE(r.bim.invertible());
+    EXPECT_LT(r.cost, r.identityCost);
+    ASSERT_EQ(r.memberCosts.size(), 3u);
+    ASSERT_EQ(r.memberTargetEntropy.size(), 3u);
+    for (std::size_t m = 0; m < 3; ++m) {
+        // Each member's searched mean target entropy beats its own
+        // identity baseline.
+        double searched = 0.0, identity = 0.0;
+        for (std::size_t i = 0; i < opts.targets.size(); ++i)
+            searched += r.memberTargetEntropy[m][i];
+        for (unsigned t : opts.targets)
+            identity += sp.planes[m].rowEntropy(
+                std::uint64_t{1} << t, opts.window, opts.metric);
+        EXPECT_GT(searched, identity) << "member " << m;
+    }
+}
+
+TEST(JointSearch, SetOrderInvarianceOfResultAndCacheKey)
+{
+    const CacheOff off; // live searches; nothing persisted
+    const AddressLayout layout = gddr5();
+    const WorkloadSet fwd({"MT", "LU", "synth:strided"});
+    const WorkloadSet rev({"synth:strided", "LU", "MT"});
+    const SearchOptions opts = smallOptions(layout);
+
+    EXPECT_EQ(sbimCacheKey(fwd, kScale, layout.name, opts),
+              sbimCacheKey(rev, kScale, layout.name, opts));
+
+    const SetSearchResult a = searchSet(fwd, layout, opts, kScale);
+    const SetSearchResult b = searchSet(rev, layout, opts, kScale);
+    EXPECT_TRUE(a.annealed.bim == b.annealed.bim);
+    EXPECT_EQ(a.annealed.cost, b.annealed.cost);
+    EXPECT_EQ(a.annealed.memberCosts, b.annealed.memberCosts);
+    ASSERT_EQ(a.searchedProfiles.size(), b.searchedProfiles.size());
+    for (std::size_t m = 0; m < a.searchedProfiles.size(); ++m)
+        EXPECT_EQ(a.searchedProfiles[m].perBit,
+                  b.searchedProfiles[m].perBit);
+}
+
+TEST(JointSearch, SizeOneSetBitIdenticalToSearchWorkload)
+{
+    const CacheOff off;
+    const AddressLayout layout = gddr5();
+    const SearchOptions opts = smallOptions(layout);
+
+    const WorkloadSet set({"MT"});
+    const SetSearchResult joint =
+        searchSet(set, layout, opts, kScale);
+    const auto wl = workloads::make("MT", kScale);
+    const WorkloadSearchResult single =
+        searchWorkload(*wl, layout, opts, kScale);
+
+    EXPECT_TRUE(joint.annealed.bim == single.annealed.bim);
+    EXPECT_EQ(joint.annealed.cost, single.annealed.cost);
+    EXPECT_EQ(joint.annealed.identityCost,
+              single.annealed.identityCost);
+    EXPECT_EQ(joint.annealed.targetEntropy,
+              single.annealed.targetEntropy);
+    EXPECT_EQ(joint.searchedProfiles[0].perBit,
+              single.searchedProfile.perBit);
+    EXPECT_EQ(joint.identityProfiles[0].perBit,
+              single.identityProfile.perBit);
+
+    // Mapper naming: size-1 sets stay "SBIM", real sets are "GBIM".
+    EXPECT_EQ(jointMapperName(set), "SBIM");
+    EXPECT_EQ(jointMapperName(WorkloadSet({"MT", "LU"})), "GBIM");
+    const auto m1 = setMapper(layout, set, opts, kScale);
+    const auto m2 = searchedMapper(layout, *wl, opts, kScale);
+    EXPECT_EQ(m1->name(), "SBIM");
+    EXPECT_TRUE(m1->matrix() == m2->matrix());
+}
+
+TEST(JointSearch, MaxEvaluationsIsAHardDeterministicCap)
+{
+    const AddressLayout layout = gddr5();
+    const WorkloadSet set({"MT", "LU"});
+    const SetPlanes sp(set);
+    const JointObjective obj = defaultJointObjective(
+        layout, defaultOptions(layout).targets, JointCombiner::Mean);
+
+    SearchOptions uncapped = smallOptions(layout);
+    const BimSearch su(layout, sp.ptrs(), obj, uncapped);
+    const SearchResult ru = su.anneal();
+    EXPECT_FALSE(ru.stats.capped);
+
+    SearchOptions capped = uncapped;
+    capped.maxEvaluations = 300;
+    const BimSearch sc(layout, sp.ptrs(), obj, capped);
+    const SearchResult rc = sc.anneal();
+    EXPECT_TRUE(rc.stats.capped);
+    EXPECT_LT(rc.stats.evaluations, ru.stats.evaluations);
+    // Hard cap: each chain stops at its budget share; a move
+    // evaluates at most one candidate row per member past the check.
+    EXPECT_LE(rc.stats.evaluations,
+              capped.maxEvaluations + capped.restarts * set.size());
+    EXPECT_TRUE(rc.bim.invertible());
+
+    // The greedy baseline is one chain and gets the whole per-run
+    // cap, not a 1/restarts share (its rejected-without-evaluation
+    // moves mean it needs a tighter cap than the anneal to bind).
+    SearchOptions gcap = uncapped;
+    gcap.maxEvaluations = 100;
+    const BimSearch sg(layout, sp.ptrs(), obj, gcap);
+    const SearchResult rg = sg.greedy();
+    EXPECT_TRUE(rg.stats.capped);
+    EXPECT_LE(rg.stats.evaluations,
+              gcap.maxEvaluations + set.size());
+    EXPECT_GT(rg.stats.evaluations,
+              gcap.maxEvaluations / gcap.restarts + set.size());
+
+    // Capped runs stay bit-identical at any thread count.
+    SearchOptions capped_par = capped;
+    capped_par.threads = 3;
+    const BimSearch scp(layout, sp.ptrs(), obj, capped_par);
+    const SearchResult rcp = scp.anneal();
+    EXPECT_TRUE(rc.bim == rcp.bim);
+    EXPECT_EQ(rc.stats.evaluations, rcp.stats.evaluations);
+
+    // The cap shapes the outcome, so it must shape the cache key.
+    EXPECT_NE(sbimCacheKey(set, kScale, layout.name, capped),
+              sbimCacheKey(set, kScale, layout.name, uncapped));
+    // So does the combiner.
+    SearchOptions worst = uncapped;
+    worst.combiner = JointCombiner::WorstCase;
+    EXPECT_NE(sbimCacheKey(set, kScale, layout.name, worst),
+              sbimCacheKey(set, kScale, layout.name, uncapped));
+}
+
+TEST(JointSearch, WorstCaseCombinerLiftsTheWorstMember)
+{
+    const AddressLayout layout = gddr5();
+    const WorkloadSet set({"MT", "LU"});
+    const SetPlanes sp(set);
+    SearchOptions opts = smallOptions(layout);
+    opts.combiner = JointCombiner::WorstCase;
+    const BimSearch s(layout, sp.ptrs(),
+                      defaultJointObjective(layout, opts.targets,
+                                            JointCombiner::WorstCase),
+                      opts);
+    const SearchResult r = s.anneal();
+    // The joint cost IS the worst member cost under this combiner.
+    ASSERT_EQ(r.memberCosts.size(), 2u);
+    EXPECT_EQ(r.cost,
+              std::max(r.memberCosts[0], r.memberCosts[1]));
+    EXPECT_LT(r.cost, r.identityCost);
+}
+
+namespace {
+
+/** Point every cache at a fresh per-test-run directory. */
+class GbimGridTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir = std::filesystem::temp_directory_path() /
+              ("valley_gbim_test_" + std::to_string(::getpid()));
+        std::filesystem::remove_all(dir);
+        setenv("VALLEY_CACHE_DIR", dir.c_str(), 1);
+        unsetenv("VALLEY_CACHE");
+    }
+
+    void
+    TearDown() override
+    {
+        unsetenv("VALLEY_CACHE_DIR");
+        std::filesystem::remove_all(dir);
+    }
+
+    std::filesystem::path dir;
+};
+
+} // namespace
+
+TEST_F(GbimGridTest, GbimRunsEndToEndWithCacheHitsOnRepeat)
+{
+    harness::GridOptions o;
+    o.workloads = {"synth:strided", "synth:stencil3d"};
+    o.schemes = {Scheme::BASE, Scheme::GBIM};
+    o.scale = 0.25;
+    o.useCache = true;
+    o.threads = 1;
+
+    const harness::Grid first = harness::runGrid(o);
+    for (const std::string &w : o.workloads) {
+        EXPECT_GT(first.speedup(w, Scheme::GBIM), 0.0) << w;
+        EXPECT_GT(first.at(w, Scheme::GBIM).seconds, 0.0) << w;
+    }
+    // The searched-BIM cache now holds the joint matrix; a repeat
+    // grid must reproduce every cell exactly from the caches.
+    const harness::Grid second = harness::runGrid(o);
+    for (const std::string &w : o.workloads)
+        for (Scheme s : o.schemes)
+            EXPECT_TRUE(first.at(w, s) == second.at(w, s))
+                << w << " " << schemeName(s);
+}
+
+TEST(GbimScheme, MakeSchemeRefusesGbim)
+{
+    EXPECT_THROW(mapping::makeScheme(Scheme::GBIM, gddr5()),
+                 std::invalid_argument);
+    EXPECT_EQ(schemeName(Scheme::GBIM), "GBIM");
+    // The paper's presentation order stays the six paper schemes.
+    EXPECT_EQ(allSchemes().size(), 6u);
+}

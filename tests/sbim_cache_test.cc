@@ -130,6 +130,65 @@ TEST_F(SbimCacheTest, DisabledCacheStoresAndReturnsNothing)
     unsetenv("VALLEY_CACHE");
 }
 
+TEST_F(SbimCacheTest, CommaSpecKeysAreEscapedAndRejectedAtTheSink)
+{
+    // Regression (workload-set refactor): a synth spec containing ','
+    // must reach the CSV escaped — one unambiguous field, no raw
+    // separators — and hand-built keys that still carry a newline or
+    // the '|' payload separator are rejected at store time.
+    const AddressLayout layout = AddressLayout::hynixGddr5();
+    const search::SearchOptions base = search::defaultOptions(layout);
+    const std::string spec = "synth:hash_shuffle,fmb=64,tbs=32";
+
+    const std::string k =
+        search::sbimCacheKey(spec, 0.25, layout.name, base);
+    EXPECT_EQ(k.find(",fmb"), std::string::npos)
+        << "spec commas must be escaped, got: " << k;
+    EXPECT_NE(k.find("%2C"), std::string::npos);
+    EXPECT_EQ(k.find('\n'), std::string::npos);
+    EXPECT_EQ(k.find('|'), std::string::npos);
+
+    // The single-workload overload and a size-1 set agree, so the
+    // delegating single-workload API hits the same cache lines.
+    EXPECT_EQ(k, search::sbimCacheKey(workloads::WorkloadSet({spec}),
+                                      0.25, layout.name, base));
+
+    // Store/lookup round-trips through the escaped key.
+    search::sbimCacheStore(k, sampleResult());
+    EXPECT_TRUE(search::sbimCacheLookup(k).has_value());
+
+    // Reject-at-the-sink: raw separators in a hand-built key.
+    EXPECT_THROW(search::sbimCacheStore("bad\nkey", sampleResult()),
+                 std::invalid_argument);
+    EXPECT_THROW(search::sbimCacheStore("bad|key", sampleResult()),
+                 std::invalid_argument);
+}
+
+TEST_F(SbimCacheTest, CommaSpecSearchHitsItsOwnCacheLine)
+{
+    // End to end with a comma-parameter spec: the first searchedMapper
+    // call searches and stores; the second must reproduce the matrix
+    // from the cache file it just wrote (i.e. the escaped line parses
+    // back to the same entry, not to a corrupt miss).
+    const AddressLayout layout = AddressLayout::hynixGddr5();
+    const auto wl =
+        workloads::make("synth:hash_shuffle,fmb=64,tbs=32", 0.25);
+    search::SearchOptions so = search::defaultOptions(layout);
+    so.restarts = 1;
+    so.iterations = 120;
+    so.threads = 1;
+
+    const auto cold = search::searchedMapper(layout, *wl, so, 0.25);
+    const auto warm = search::searchedMapper(layout, *wl, so, 0.25);
+    EXPECT_TRUE(cold->matrix() == warm->matrix());
+
+    std::ifstream in(search::sbimCachePath());
+    const auto lines = std::count(
+        std::istreambuf_iterator<char>(in),
+        std::istreambuf_iterator<char>(), '\n');
+    EXPECT_EQ(lines, 1) << "warm call must hit, not append";
+}
+
 TEST_F(SbimCacheTest, SearchedMapperHitMatchesSearchedMapperMiss)
 {
     // End to end: the second searchedMapper call must produce the
