@@ -1,0 +1,140 @@
+#include "common/fault_inject.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace valley {
+namespace fault {
+
+namespace detail {
+
+std::atomic<bool> armed{false};
+
+namespace {
+
+enum class Mode
+{
+    Throw,
+    Kill,
+};
+
+struct Spec
+{
+    std::string site;
+    std::uint64_t n = 0; // 1-based trigger hit
+    Mode mode = Mode::Throw;
+};
+
+std::mutex spec_mutex;
+Spec spec;
+std::atomic<std::uint64_t> hits{0};
+
+Spec
+parseSpec(const std::string &s)
+{
+    Spec out;
+    const auto first = s.find(':');
+    if (first == std::string::npos || first == 0)
+        throw std::invalid_argument(
+            "fault spec must be <site>:<n>[:throw|:kill]: " + s);
+    out.site = s.substr(0, first);
+    const auto second = s.find(':', first + 1);
+    const std::string count =
+        s.substr(first + 1, second == std::string::npos
+                                ? std::string::npos
+                                : second - first - 1);
+    char *end = nullptr;
+    out.n = std::strtoull(count.c_str(), &end, 10);
+    if (count.empty() || (end && *end) || out.n == 0)
+        throw std::invalid_argument(
+            "fault spec needs a positive hit count: " + s);
+    if (second != std::string::npos) {
+        const std::string mode = s.substr(second + 1);
+        if (mode == "throw")
+            out.mode = Mode::Throw;
+        else if (mode == "kill")
+            out.mode = Mode::Kill;
+        else
+            throw std::invalid_argument(
+                "fault mode must be throw or kill: " + s);
+    }
+    return out;
+}
+
+/** Arm from the environment once, at static-init time. */
+const bool env_armed = [] {
+    const char *env = std::getenv("VALLEY_FAULT_INJECT");
+    if (!env || !*env)
+        return false;
+    try {
+        spec = parseSpec(env);
+    } catch (const std::invalid_argument &e) {
+        std::fprintf(stderr, "[valley] ignoring VALLEY_FAULT_INJECT: "
+                             "%s\n",
+                     e.what());
+        return false;
+    }
+    armed.store(true, std::memory_order_relaxed);
+    return true;
+}();
+
+} // namespace
+
+void
+hit(const char *site)
+{
+    Spec s;
+    {
+        std::lock_guard<std::mutex> lock(spec_mutex);
+        s = spec;
+    }
+    if (s.site != site)
+        return;
+    const std::uint64_t count =
+        hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (count != s.n)
+        return;
+    if (s.mode == Mode::Kill) {
+        std::fprintf(stderr,
+                     "[valley] fault injected: killing at %s hit "
+                     "%llu\n",
+                     site, static_cast<unsigned long long>(count));
+        std::fflush(nullptr);
+        std::_Exit(42);
+    }
+    throw Injected(std::string("fault injected at ") + site +
+                   " hit " + std::to_string(count));
+}
+
+} // namespace detail
+
+void
+configure(const std::string &spec_string)
+{
+    using namespace detail;
+    if (spec_string.empty()) {
+        armed.store(false, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(spec_mutex);
+        spec = Spec{};
+        hits.store(0, std::memory_order_relaxed);
+        return;
+    }
+    const Spec parsed = parseSpec(spec_string); // may throw
+    {
+        std::lock_guard<std::mutex> lock(spec_mutex);
+        spec = parsed;
+        hits.store(0, std::memory_order_relaxed);
+    }
+    armed.store(true, std::memory_order_relaxed);
+}
+
+std::uint64_t
+hitCount()
+{
+    return detail::hits.load(std::memory_order_relaxed);
+}
+
+} // namespace fault
+} // namespace valley

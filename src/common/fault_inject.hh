@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic fault injection for resilience tests.
+ *
+ * `VALLEY_FAULT_INJECT=<site>:<n>[:throw|:kill]` arms exactly one
+ * fault: the Nth (1-based) hit of the named site either throws
+ * `fault::Injected` (default — catchable, used by in-process tests
+ * and `bench/resume_smoke`) or kills the process with `_Exit(42)`
+ * after flushing stdio (used by the CI interrupted-grid step, where
+ * the crash must look like a real SIGKILL-grade loss of the process,
+ * not a graceful unwind).
+ *
+ * Sites are plain string literals at the instrumented points:
+ *
+ *  - `grid_cell`   — start of one grid cell's simulation
+ *                    (`harness::runGrid`); resumed cells do not count,
+ *                    so a rerun with the same spec passes the site
+ *                    that killed the first run.
+ *  - `cache_write` — one persisted record (`harness::atomicAppend`):
+ *                    every result/profile/SBIM-cache store and every
+ *                    journal record.
+ *
+ * Off is the default and costs one relaxed atomic load per site hit —
+ * no env lookup, no branch on the spec. Determinism: the trigger
+ * counts site hits, never wall-clock, so the same spec kills the same
+ * run at the same point every time (per-thread interleaving may vary
+ * *which* concurrent cell observes the throw, but tests that need
+ * full determinism run serial).
+ */
+
+#ifndef VALLEY_COMMON_FAULT_INJECT_HH
+#define VALLEY_COMMON_FAULT_INJECT_HH
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+namespace valley {
+namespace fault {
+
+/** The exception thrown in `throw` mode; catch it to resume. */
+struct Injected : std::runtime_error
+{
+    explicit Injected(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+namespace detail {
+extern std::atomic<bool> armed;
+void hit(const char *site);
+} // namespace detail
+
+/**
+ * Fault-injection point. No-op (one relaxed load) unless a spec is
+ * armed via the environment or `configure`.
+ */
+inline void
+maybeInject(const char *site)
+{
+    if (detail::armed.load(std::memory_order_relaxed))
+        detail::hit(site);
+}
+
+/**
+ * (Re)arm programmatically, overriding the environment: same spec
+ * grammar as VALLEY_FAULT_INJECT; the empty string disarms. Resets
+ * the hit counter — tests use this to arm, trigger, then disarm
+ * without touching the process environment. Throws
+ * `std::invalid_argument` on a malformed spec.
+ */
+void configure(const std::string &spec);
+
+/** Hits recorded so far against the armed site (0 when disarmed). */
+std::uint64_t hitCount();
+
+} // namespace fault
+} // namespace valley
+
+#endif // VALLEY_COMMON_FAULT_INJECT_HH

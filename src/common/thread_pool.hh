@@ -1,22 +1,46 @@
 /**
  * @file
- * Minimal fixed-size thread pool for embarrassingly parallel
- * experiment grids.
+ * Work-stealing thread pool for the experiment grids.
  *
  * Each (workload, scheme) simulation is self-contained — one
  * GpuSystem, one mapper, deterministic RNG seeding — so the harness
  * only needs fork/join task execution with exceptions propagated to
  * the caller. Tasks write their results into caller-owned slots, so
  * result placement is deterministic regardless of scheduling order.
+ *
+ * ## Why stealing
+ *
+ * Grid cells have wildly skewed costs: a GBIM cell that warms the
+ * joint search, or a huge-scale synth member, can run orders of
+ * magnitude longer than a cached BASE cell. A static per-thread
+ * partition would leave every other worker idle behind the one
+ * stuck with the expensive cells. Here `submit` deals tasks
+ * round-robin onto per-worker deques (task i of a round lands on
+ * deque i % threads — a documented, deterministic placement the
+ * tests rely on); each worker drains its own deque from the back
+ * (LIFO — cache-warm), and when empty steals the *oldest* task from
+ * another worker's front (FIFO — the classic stealing discipline
+ * that moves the biggest remaining chunks). `stealCount()` exposes
+ * how often that rebalancing fired; the grid's progress output
+ * reports it.
+ *
+ * Stealing only changes *which thread* runs a task, never what the
+ * task computes or where it writes, so the serial/parallel
+ * bit-identity contract of the grid is untouched (asserted in
+ * tests/thread_pool_test.cc and tests/experiment_test.cc).
  */
 
 #ifndef VALLEY_COMMON_THREAD_POOL_HH
 #define VALLEY_COMMON_THREAD_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -31,9 +55,12 @@ class ThreadPool
     {
         if (threads == 0)
             threads = defaultThreads();
+        deques.reserve(threads);
+        for (unsigned i = 0; i < threads; ++i)
+            deques.push_back(std::make_unique<WorkerDeque>());
         workers.reserve(threads);
         for (unsigned i = 0; i < threads; ++i)
-            workers.emplace_back([this] { workerLoop(); });
+            workers.emplace_back([this, i] { workerLoop(i); });
     }
 
     ~ThreadPool()
@@ -56,12 +83,24 @@ class ThreadPool
         return static_cast<unsigned>(workers.size());
     }
 
-    /** Queue one task; run() executes everything queued so far. */
+    /**
+     * Queue one task; run() executes everything queued so far.
+     * Placement is deterministic: the i-th task submitted since the
+     * last run() lands on worker deque i % threadCount().
+     */
     void
     submit(std::function<void()> task)
     {
-        std::lock_guard<std::mutex> lock(mutex);
-        queue.push_back(std::move(task));
+        std::size_t slot;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            slot = nextDeque;
+            nextDeque = (nextDeque + 1) % deques.size();
+            ++submitted;
+        }
+        WorkerDeque &d = *deques[slot];
+        std::lock_guard<std::mutex> lock(d.mutex);
+        d.tasks.push_back(std::move(task));
     }
 
     /**
@@ -73,16 +112,31 @@ class ThreadPool
     run()
     {
         std::unique_lock<std::mutex> lock(mutex);
-        pending = queue.size();
-        if (pending == 0)
+        if (submitted == 0)
             return;
+        pending.store(submitted, std::memory_order_relaxed);
+        unclaimed.store(submitted, std::memory_order_release);
+        submitted = 0;
+        nextDeque = 0;
         wake.notify_all();
-        done.wait(lock, [this] { return pending == 0 && queue.empty(); });
+        done.wait(lock, [this] {
+            return pending.load(std::memory_order_acquire) == 0;
+        });
         if (firstError) {
             std::exception_ptr e = firstError;
             firstError = nullptr;
             std::rethrow_exception(e);
         }
+    }
+
+    /**
+     * Tasks executed by a worker other than the one they were dealt
+     * to, cumulative over the pool's lifetime.
+     */
+    std::uint64_t
+    stealCount() const
+    {
+        return steals.load(std::memory_order_relaxed);
     }
 
     /** Hardware concurrency with a sane fallback. */
@@ -94,39 +148,97 @@ class ThreadPool
     }
 
   private:
+    struct WorkerDeque
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    /**
+     * Claim one task for worker `self`: own deque's back first
+     * (LIFO), then the front of every other deque in scan order
+     * (FIFO steal). Decrements `unclaimed` on success.
+     */
+    bool
+    claimTask(unsigned self, std::function<void()> &out)
+    {
+        const std::size_t n = deques.size();
+        {
+            WorkerDeque &own = *deques[self];
+            std::lock_guard<std::mutex> lock(own.mutex);
+            if (!own.tasks.empty()) {
+                out = std::move(own.tasks.back());
+                own.tasks.pop_back();
+                unclaimed.fetch_sub(1, std::memory_order_relaxed);
+                return true;
+            }
+        }
+        for (std::size_t i = 1; i < n; ++i) {
+            WorkerDeque &victim = *deques[(self + i) % n];
+            std::lock_guard<std::mutex> lock(victim.mutex);
+            if (!victim.tasks.empty()) {
+                out = std::move(victim.tasks.front());
+                victim.tasks.pop_front();
+                unclaimed.fetch_sub(1, std::memory_order_relaxed);
+                steals.fetch_add(1, std::memory_order_relaxed);
+                return true;
+            }
+        }
+        return false;
+    }
+
     void
-    workerLoop()
+    workerLoop(unsigned self)
     {
         std::unique_lock<std::mutex> lock(mutex);
         for (;;) {
             wake.wait(lock, [this] {
-                return stopping || (!queue.empty() && pending > 0);
+                return stopping ||
+                       unclaimed.load(std::memory_order_acquire) > 0;
             });
             if (stopping)
                 return;
-            std::function<void()> task = std::move(queue.front());
-            queue.erase(queue.begin());
             lock.unlock();
-            std::exception_ptr err;
-            try {
-                task();
-            } catch (...) {
-                err = std::current_exception();
+            std::function<void()> task;
+            while (claimTask(self, task)) {
+                std::exception_ptr err;
+                try {
+                    task();
+                } catch (...) {
+                    err = std::current_exception();
+                }
+                task = nullptr;
+                if (err) {
+                    std::lock_guard<std::mutex> elock(mutex);
+                    if (!firstError)
+                        firstError = err;
+                }
+                if (pending.fetch_sub(1, std::memory_order_acq_rel) ==
+                    1) {
+                    // Last task of the round: wake run() under the
+                    // mutex so the notification cannot be missed.
+                    std::lock_guard<std::mutex> dlock(mutex);
+                    done.notify_all();
+                }
             }
             lock.lock();
-            if (err && !firstError)
-                firstError = err;
-            if (--pending == 0 && queue.empty())
-                done.notify_all();
+            // Nothing claimable: either the round is drained (sleep
+            // until the next one) or a race claimed the last task
+            // between our check and scan (the wait predicate re-reads
+            // `unclaimed`, so we re-scan or sleep correctly).
         }
     }
 
     std::vector<std::thread> workers;
-    std::vector<std::function<void()>> queue;
+    std::vector<std::unique_ptr<WorkerDeque>> deques;
+    std::size_t nextDeque = 0;  ///< round-robin submit cursor
+    std::size_t submitted = 0;  ///< tasks queued since last run()
+    std::atomic<std::size_t> pending{0};   ///< not yet finished
+    std::atomic<std::size_t> unclaimed{0}; ///< not yet claimed
+    std::atomic<std::uint64_t> steals{0};
     std::mutex mutex;
     std::condition_variable wake;
     std::condition_variable done;
-    std::size_t pending = 0;
     bool stopping = false;
     std::exception_ptr firstError;
 };

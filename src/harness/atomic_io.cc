@@ -1,0 +1,231 @@
+#include "harness/atomic_io.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cassert>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/fault_inject.hh"
+#include "common/fnv.hh"
+#include "harness/result_cache.hh"
+
+namespace valley {
+namespace harness {
+
+namespace {
+
+std::atomic<std::uint64_t> quarantined_total{0};
+
+void
+ensureParentDir(const std::string &path)
+{
+    const std::filesystem::path p(path);
+    std::error_code ec; // best-effort, mirrors the old cache stores
+    if (p.has_parent_path())
+        std::filesystem::create_directories(p.parent_path(), ec);
+}
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace
+
+bool
+atomicAppend(const std::string &path, std::string_view data)
+{
+    fault::maybeInject("cache_write");
+    ensureParentDir(path);
+    const int fd = ::open(path.c_str(),
+                          O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0)
+        return false;
+    // One write(2) for the whole record: O_APPEND makes the
+    // seek-to-end + write atomic with respect to other appenders.
+    std::size_t off = 0;
+    bool ok = true;
+    while (off < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + off, data.size() - off);
+        if (n <= 0) {
+            ok = false;
+            break;
+        }
+        off += static_cast<std::size_t>(n);
+        // A short write can only tear across records if another
+        // appender slips in; that line then fails its checksum on
+        // load and is quarantined — detectable, not fatal.
+    }
+    ::close(fd);
+    return ok;
+}
+
+bool
+atomicWriteFile(const std::string &path, std::string_view contents)
+{
+    ensureParentDir(path);
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return false;
+    std::size_t off = 0;
+    bool ok = true;
+    while (off < contents.size()) {
+        const ssize_t n =
+            ::write(fd, contents.data() + off, contents.size() - off);
+        if (n <= 0) {
+            ok = false;
+            break;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    if (ok)
+        ok = ::fsync(fd) == 0;
+    ::close(fd);
+    if (ok)
+        ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+    if (!ok)
+        ::unlink(tmp.c_str());
+    return ok;
+}
+
+std::string
+checksummedRecord(std::string_view key, std::string_view payload)
+{
+    assert(key.find('|') == std::string_view::npos &&
+           key.find('\n') == std::string_view::npos);
+    assert(payload.find('\n') == std::string_view::npos);
+    std::string body;
+    body.reserve(key.size() + payload.size() + 20);
+    body.append(key);
+    body.push_back('|');
+    body.append(payload);
+    const std::uint64_t crc = bits::fnv1a(body);
+    body.append("|c");
+    body.append(hex16(crc));
+    body.push_back('\n');
+    return body;
+}
+
+std::optional<std::pair<std::string, std::string>>
+parseChecksummedRecord(std::string_view line)
+{
+    if (line.find('\0') != std::string_view::npos)
+        return std::nullopt;
+    const auto crc_sep = line.rfind('|');
+    if (crc_sep == std::string_view::npos)
+        return std::nullopt;
+    const std::string_view crc_field = line.substr(crc_sep + 1);
+    if (crc_field.size() != 17 || crc_field[0] != 'c')
+        return std::nullopt;
+    std::uint64_t want = 0;
+    for (char c : crc_field.substr(1)) {
+        unsigned digit;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<unsigned>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<unsigned>(c - 'a') + 10;
+        else
+            return std::nullopt;
+        want = (want << 4) | digit;
+    }
+    const std::string_view body = line.substr(0, crc_sep);
+    if (bits::fnv1a(body) != want)
+        return std::nullopt;
+    const auto key_sep = body.find('|');
+    if (key_sep == std::string_view::npos)
+        return std::nullopt;
+    return std::make_pair(std::string(body.substr(0, key_sep)),
+                          std::string(body.substr(key_sep + 1)));
+}
+
+LoadStats
+loadChecksummedRecords(
+    const std::string &path, std::string_view version_prefix,
+    const std::function<bool(const std::string &key,
+                             const std::string &payload)> &accept)
+{
+    LoadStats stats;
+    std::ifstream in(path);
+    if (!in)
+        return stats;
+
+    std::vector<std::string> kept; // good + stale lines, verbatim
+    std::vector<std::string> bad;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        // A line of a different schema epoch is stale, not corrupt:
+        // skip it before checksum verification (pre-checksum cache
+        // files and future formats both land here) and keep it for
+        // whatever binary still speaks that version.
+        const auto key_sep = line.find('|');
+        const std::string_view key_view =
+            key_sep == std::string::npos
+                ? std::string_view(line)
+                : std::string_view(line).substr(0, key_sep);
+        if (key_view.substr(0, version_prefix.size()) !=
+            version_prefix) {
+            ++stats.staleVersion;
+            kept.push_back(line);
+            continue;
+        }
+        const auto rec = parseChecksummedRecord(line);
+        if (rec && accept(rec->first, rec->second)) {
+            ++stats.accepted;
+            kept.push_back(line);
+        } else {
+            ++stats.quarantined;
+            bad.push_back(line);
+        }
+    }
+    in.close();
+
+    if (!bad.empty()) {
+        const std::string base =
+            std::filesystem::path(path).filename().string();
+        const std::string qpath = cacheDir() + "/quarantine/" + base;
+        std::string qlines;
+        for (const std::string &l : bad) {
+            qlines += l;
+            qlines += '\n';
+        }
+        atomicAppend(qpath, qlines);
+        std::string good;
+        for (const std::string &l : kept) {
+            good += l;
+            good += '\n';
+        }
+        atomicWriteFile(path, good);
+        quarantined_total.fetch_add(bad.size(),
+                                    std::memory_order_relaxed);
+        std::fprintf(stderr,
+                     "[valley] %s: quarantined %zu corrupt line(s) "
+                     "-> %s (recomputed on next use)\n",
+                     base.c_str(), bad.size(), qpath.c_str());
+    }
+    return stats;
+}
+
+std::uint64_t
+quarantinedLineCount()
+{
+    return quarantined_total.load(std::memory_order_relaxed);
+}
+
+} // namespace harness
+} // namespace valley

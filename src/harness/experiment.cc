@@ -1,12 +1,19 @@
 #include "harness/experiment.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <mutex>
+#include <sstream>
 #include <stdexcept>
 
+#include "common/fault_inject.hh"
 #include "common/stats.hh"
 #include "common/thread_pool.hh"
+#include "harness/atomic_io.hh"
+#include "harness/grid_journal.hh"
 #include "harness/result_cache.hh"
 #include "search/searched_bim.hh"
 #include "synth/registry.hh"
@@ -61,6 +68,40 @@ cellCacheKey(const SimConfig &config, Scheme scheme,
             : workload;
     return cacheKey(config.name, workload_key, scheme_id, bim_seed,
                     scale);
+}
+
+/** `GridOptions::checkpoint`, overridable by VALLEY_CHECKPOINT. */
+bool
+checkpointEnabled(const GridOptions &opts)
+{
+    if (opts.checkpoint)
+        return true;
+    const char *env = std::getenv("VALLEY_CHECKPOINT");
+    return env && *env && std::string(env) != "0";
+}
+
+/**
+ * Everything that makes two grids "the same grid" for resume
+ * purposes. Cell keys alone already disambiguate cells, but hashing
+ * the identity into the journal *path* keeps each grid's journal
+ * self-contained (and lets an unrelated grid start fresh instead of
+ * loading thousands of foreign records).
+ */
+std::string
+gridIdentity(const GridOptions &opts,
+             const workloads::WorkloadSet *joint)
+{
+    std::ostringstream out;
+    out.precision(17);
+    out << opts.config.name << ';' << opts.bimSeed << ';'
+        << opts.scale << ';';
+    for (const auto &w : opts.workloads)
+        out << w << ',';
+    out << ';';
+    for (Scheme s : opts.schemes)
+        out << schemeName(s) << ',';
+    out << ';' << (joint ? joint->key() : std::string());
+    return out.str();
 }
 
 /** Simulate one workload under an already-built mapper. */
@@ -276,9 +317,55 @@ runGrid(GridOptions opts)
         return *gbim_mapper;
     };
 
+    // Checkpoint journal: load once up front (the map is then
+    // read-only, so parallel cells need no lock), append one record
+    // per finished cell. Resume = skip every journaled cell with its
+    // recorded result — bit-identical because the journal round-trips
+    // doubles exactly.
+    const bool checkpoint = checkpointEnabled(opts);
+    std::unique_ptr<GridJournal> journal;
+    std::map<std::string, RunResult> done_cells;
+    if (checkpoint) {
+        journal = std::make_unique<GridJournal>(
+            GridJournal::pathFor(gridIdentity(opts, joint.get())));
+        done_cells = journal->load();
+    }
+
+    const std::size_t cells =
+        opts.workloads.size() * opts.schemes.size();
+    std::atomic<std::size_t> cells_done{0};
+    std::atomic<std::size_t> cells_resumed{0};
+
     const auto runCell = [&](std::size_t wi, std::size_t si) {
         const std::string &w = opts.workloads[wi];
         const Scheme s = opts.schemes[si];
+        const std::string key =
+            (checkpoint || opts.useCache)
+                ? cellCacheKey(opts.config, s, w, opts.bimSeed,
+                               opts.scale, joint.get())
+                : std::string();
+        if (checkpoint) {
+            const auto it = done_cells.find(key);
+            if (it != done_cells.end()) {
+                RunResult r = it->second;
+                r.config = opts.config.name;
+                results[wi][si] = std::move(r);
+                cells_resumed.fetch_add(1,
+                                        std::memory_order_relaxed);
+                const std::size_t d = cells_done.fetch_add(1) + 1;
+                if (opts.progress)
+                    std::fprintf(stderr,
+                                 "[grid] %-6s %-5s resumed from "
+                                 "journal (%zu/%zu)\n",
+                                 w.c_str(), schemeName(s).c_str(), d,
+                                 cells);
+                return;
+            }
+        }
+        // Fault-injection site: counts only cells actually simulated,
+        // so a resumed run with the same VALLEY_FAULT_INJECT spec dies
+        // N *new* cells further in, not at the same spot forever.
+        fault::maybeInject("grid_cell");
         if (opts.progress)
             std::fprintf(stderr, "[grid] %-6s %-5s %s...\n", w.c_str(),
                          schemeName(s).c_str(),
@@ -287,37 +374,40 @@ runGrid(GridOptions opts)
             // GBIM cells simulate under the one shared matrix; the
             // result cache still short-circuits repeat grids (and,
             // on a full hit, the search never runs at all).
-            const std::string key =
-                opts.useCache
-                    ? cellCacheKey(opts.config, s, w, opts.bimSeed,
-                                   opts.scale, joint.get())
-                    : std::string();
+            bool hit_cache = false;
             if (opts.useCache) {
                 if (auto hit = cacheLookup(key)) {
                     hit->config = opts.config.name;
                     results[wi][si] = *hit;
-                    return;
+                    hit_cache = true;
                 }
             }
-            results[wi][si] = simulateCell(opts.config, sharedGbim(),
-                                           w, opts.scale);
-            if (opts.useCache)
-                cacheStore(key, results[wi][si]);
-            return;
+            if (!hit_cache) {
+                results[wi][si] = simulateCell(
+                    opts.config, sharedGbim(), w, opts.scale);
+                if (opts.useCache)
+                    cacheStore(key, results[wi][si]);
+            }
+        } else {
+            results[wi][si] =
+                opts.useCache
+                    ? runOneCached(opts.config, s, w, opts.scale,
+                                   opts.bimSeed, joint.get())
+                    : runOne(opts.config, s, w, opts.scale,
+                             opts.bimSeed, joint.get());
         }
-        results[wi][si] =
-            opts.useCache
-                ? runOneCached(opts.config, s, w, opts.scale,
-                               opts.bimSeed, joint.get())
-                : runOne(opts.config, s, w, opts.scale, opts.bimSeed,
-                         joint.get());
+        if (checkpoint)
+            journal->record(key, results[wi][si]);
+        const std::size_t d = cells_done.fetch_add(1) + 1;
+        if (opts.progress)
+            std::fprintf(stderr, "[grid] %zu/%zu cells done\n", d,
+                         cells);
     };
 
-    const std::size_t cells =
-        opts.workloads.size() * opts.schemes.size();
     const unsigned threads = opts.threads == 0
                                  ? ThreadPool::defaultThreads()
                                  : opts.threads;
+    std::uint64_t steals = 0;
     if (threads <= 1 || cells <= 1) {
         for (std::size_t wi = 0; wi < opts.workloads.size(); ++wi)
             for (std::size_t si = 0; si < opts.schemes.size(); ++si)
@@ -330,7 +420,16 @@ runGrid(GridOptions opts)
             for (std::size_t si = 0; si < opts.schemes.size(); ++si)
                 pool.submit([&runCell, wi, si] { runCell(wi, si); });
         pool.run();
+        steals = pool.stealCount();
     }
+    if (opts.progress)
+        std::fprintf(stderr,
+                     "[grid] done: %zu/%zu cells (%zu resumed, "
+                     "%llu stolen, %llu cache lines quarantined)\n",
+                     cells_done.load(), cells, cells_resumed.load(),
+                     static_cast<unsigned long long>(steals),
+                     static_cast<unsigned long long>(
+                         quarantinedLineCount()));
     return Grid(std::move(opts), std::move(results));
 }
 

@@ -30,8 +30,26 @@ struct GridOptions
     std::vector<Scheme> schemes = allSchemes();
     std::uint64_t bimSeed = 1;           ///< "BIM-1" of Fig. 19
     double scale = 1.0;                  ///< workload problem scale
-    bool progress = false;               ///< log runs to stderr
+
+    /**
+     * Log progress to stderr: one line per launched cell, a running
+     * cells-done / total counter with resume-skip counts, and a final
+     * summary including work-steal and cache-quarantine counters.
+     */
+    bool progress = false;
     bool useCache = false;               ///< memoize via result_cache
+
+    /**
+     * Checkpoint every finished cell to a per-grid journal
+     * (`GridJournal`) and, on the next run of the same grid, resume
+     * by skipping every journaled cell — bit-identically, whether the
+     * previous run was interrupted mid-grid or completed.
+     * `VALLEY_CHECKPOINT=1` in the environment turns this on without
+     * touching call sites (any value but "0" counts). Independent of
+     * `useCache`: the journal records *this grid's* cells even when
+     * the global result cache is disabled.
+     */
+    bool checkpoint = false;
 
     /**
      * Members of the joint set GBIM cells search against; empty =

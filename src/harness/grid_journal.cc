@@ -1,0 +1,50 @@
+#include "harness/grid_journal.hh"
+
+#include <cstdio>
+
+#include "common/fnv.hh"
+#include "harness/atomic_io.hh"
+#include "harness/result_cache.hh"
+
+namespace valley {
+namespace harness {
+
+std::string
+GridJournal::pathFor(const std::string &grid_identity)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(
+                      bits::fnv1a(grid_identity)));
+    return cacheDir() + "/grid_journal_" + buf + ".csv";
+}
+
+std::map<std::string, RunResult>
+GridJournal::load() const
+{
+    std::map<std::string, RunResult> cells;
+    // Cell keys are result-cache keys, so the journal shares the
+    // cache's version prefix: a journal written before a schema bump
+    // is all-stale and the grid recomputes from scratch.
+    loadChecksummedRecords(
+        path_, kResultCacheVersion,
+        [&cells](const std::string &key, const std::string &payload) {
+            auto r = deserializeResult(payload);
+            if (!r)
+                return false;
+            cells[key] = std::move(*r);
+            return true;
+        });
+    return cells;
+}
+
+bool
+GridJournal::record(const std::string &cell_key,
+                    const RunResult &r) const
+{
+    return atomicAppend(path_,
+                        checksummedRecord(cell_key, serializeResult(r)));
+}
+
+} // namespace harness
+} // namespace valley

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Checkpoint journal for `runGrid`: crash-safe record of every
+ * finished (workload, scheme) cell, enabling bit-identical resume of
+ * an interrupted mega-grid.
+ *
+ * A full-scale grid is hours of simulation; losing it to a crash at
+ * cell N-1 used to mean recomputing everything (or trusting the
+ * result cache, which a user may have disabled). With checkpointing
+ * on (`GridOptions::checkpoint` or `VALLEY_CHECKPOINT=1`), `runGrid`
+ * appends one journal record per finished cell and, on the next run
+ * of the *same* grid, loads the journal first and skips every cell it
+ * already holds.
+ *
+ * ## Record format and crash-consistency invariants
+ *
+ * The journal reuses the result-cache wire format verbatim: one
+ * `checksummedRecord` line per cell,
+ *
+ *     <cell key>|<serializeResult payload>|c<16-hex FNV-1a>\n
+ *
+ * where the cell key is the cell's result-cache key (version-prefixed
+ * `kResultCacheVersion`, unique per config/workload/scheme/seed/scale
+ * and — for GBIM — joint set). The invariants:
+ *
+ *  - a record is appended with ONE O_APPEND write(2) (`atomicAppend`)
+ *    *after* its cell finishes, so the journal never names a cell
+ *    whose result was not fully computed, and a kill between cells
+ *    loses at most cells in flight, never written ones;
+ *  - a kill *during* the append leaves a truncated tail line that
+ *    fails its checksum on load and is quarantined — the cell reruns;
+ *  - payload doubles round-trip at precision 17, so a resumed cell is
+ *    bit-identical to the original computation (`RunResult::config`
+ *    is not serialized and is restamped on load, exactly like the
+ *    result cache);
+ *  - records are idempotent by key: duplicate appends (e.g. two
+ *    interrupted runs racing) are harmless, last-in wins with an
+ *    identical value.
+ *
+ * The journal file lives under `cacheDir()` and is named by an FNV-1a
+ * hash of the grid identity (config, workload axis, scheme axis, BIM
+ * seed, scale, joint set), so different grids never share a journal
+ * and a finished journal simply short-circuits an identical re-run.
+ */
+
+#ifndef VALLEY_HARNESS_GRID_JOURNAL_HH
+#define VALLEY_HARNESS_GRID_JOURNAL_HH
+
+#include <map>
+#include <string>
+
+#include "gpu/run_result.hh"
+
+namespace valley {
+namespace harness {
+
+/** Append-only checkpoint journal of one grid's finished cells. */
+class GridJournal
+{
+  public:
+    /** Journal over an explicit file path (tests, benches). */
+    explicit GridJournal(std::string path) : path_(std::move(path)) {}
+
+    /**
+     * Canonical journal path of a grid:
+     * `cacheDir()/grid_journal_<16-hex FNV-1a of grid_identity>.csv`.
+     */
+    static std::string pathFor(const std::string &grid_identity);
+
+    const std::string &path() const { return path_; }
+
+    /**
+     * Load every finished cell: cell key -> result. Corrupt lines
+     * (torn appends, bad checksums) are skipped-and-quarantined via
+     * `loadChecksummedRecords` — an interrupted run's half-written
+     * tail costs one cell, not the journal. Missing file = empty map.
+     */
+    std::map<std::string, RunResult> load() const;
+
+    /**
+     * Append one finished cell (crash-safe, thread-safe: whole record
+     * in one O_APPEND write). Best-effort like the caches — a failed
+     * append only means that cell reruns after an interruption.
+     */
+    bool record(const std::string &cell_key, const RunResult &r) const;
+
+  private:
+    std::string path_;
+};
+
+} // namespace harness
+} // namespace valley
+
+#endif // VALLEY_HARNESS_GRID_JOURNAL_HH

@@ -1,18 +1,19 @@
 #include "harness/profile_cache.hh"
 
 #include <array>
-#include <filesystem>
-#include <fstream>
 #include <map>
 #include <mutex>
 #include <sstream>
 
+#include "harness/atomic_io.hh"
 #include "harness/result_cache.hh"
 
 namespace valley {
 namespace harness {
 
-const char *kProfileCacheVersion = "p1";
+// p2: checksummed record lines (atomic_io.hh) — pre-checksum epochs
+// are skipped as stale on load.
+const char *kProfileCacheVersion = "p2";
 
 std::string
 profileCachePath()
@@ -34,7 +35,6 @@ struct Shard
 
 std::array<Shard, kShards> shards;
 std::mutex load_mutex;
-std::mutex file_mutex;
 bool loaded = false;
 
 Shard &
@@ -68,6 +68,9 @@ deserialize(const std::string &line)
         in >> b;
     if (!in)
         return std::nullopt;
+    std::string extra;
+    if (in >> extra)
+        return std::nullopt; // wrong field count for this schema
     return p;
 }
 
@@ -78,21 +81,20 @@ loadOnce()
     if (loaded)
         return;
     loaded = true;
-    std::ifstream in(profileCachePath());
-    std::string line;
-    while (std::getline(in, line)) {
-        const auto sep = line.find('|');
-        if (sep == std::string::npos)
-            continue;
-        const std::string key = line.substr(0, sep);
-        if (key.rfind(kProfileCacheVersion, 0) != 0)
-            continue; // stale schema version
-        if (auto p = deserialize(line.substr(sep + 1))) {
+    // Skip-and-quarantine: a corrupt profile line degrades to a cache
+    // miss (re-profiled on demand) instead of feeding the search a
+    // garbage entropy profile.
+    loadChecksummedRecords(
+        profileCachePath(), kProfileCacheVersion,
+        [](const std::string &key, const std::string &payload) {
+            auto p = deserialize(payload);
+            if (!p)
+                return false;
             Shard &shard = shardFor(key);
             std::lock_guard<std::mutex> shard_lock(shard.mutex);
             shard.entries[key] = std::move(*p);
-        }
-    }
+            return true;
+        });
 }
 
 } // namespace
@@ -136,11 +138,21 @@ profileCacheStore(const std::string &key, const EntropyProfile &p)
         std::lock_guard<std::mutex> lock(shard.mutex);
         shard.entries[key] = p;
     }
-    std::lock_guard<std::mutex> lock(file_mutex);
-    std::error_code ec; // best-effort: a failed append only loses memoization
-    std::filesystem::create_directories(cacheDir(), ec);
-    std::ofstream out(profileCachePath(), std::ios::app);
-    out << key << '|' << serialize(p) << '\n';
+    // Best-effort atomic append: a failed write only loses
+    // memoization; a concurrent one can no longer tear the line.
+    atomicAppend(profileCachePath(),
+                 checksummedRecord(key, serialize(p)));
+}
+
+void
+profileCacheResetForTesting()
+{
+    std::lock_guard<std::mutex> lock(load_mutex);
+    for (Shard &s : shards) {
+        std::lock_guard<std::mutex> shard_lock(s.mutex);
+        s.entries.clear();
+    }
+    loaded = false;
 }
 
 EntropyProfile

@@ -60,6 +60,12 @@ EntropyProfile profileWorkloadCached(
     const Workload &workload, const workloads::ProfileOptions &opts,
     double scale, const std::string &mapper_id = "");
 
+/**
+ * Drop the in-memory profile cache and forget that the file was
+ * loaded (next lookup re-reads disk). Testing hook only.
+ */
+void profileCacheResetForTesting();
+
 } // namespace harness
 } // namespace valley
 

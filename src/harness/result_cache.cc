@@ -2,16 +2,18 @@
 
 #include <array>
 #include <cstdlib>
-#include <filesystem>
-#include <fstream>
 #include <map>
 #include <mutex>
 #include <sstream>
 
+#include "harness/atomic_io.hh"
+
 namespace valley {
 namespace harness {
 
-const char *kResultCacheVersion = "v3";
+// v4: checksummed record lines (atomic_io.hh) — pre-checksum epochs
+// are skipped as stale on load.
+const char *kResultCacheVersion = "v4";
 
 std::string
 cacheDir()
@@ -43,7 +45,6 @@ struct CacheShard
 
 std::array<CacheShard, kCacheShards> shards;
 std::mutex load_mutex;
-std::mutex file_mutex;
 bool loaded = false;
 
 CacheShard &
@@ -52,8 +53,33 @@ shardFor(const std::string &key)
     return shards[std::hash<std::string>{}(key) % kCacheShards];
 }
 
+void
+loadOnce()
+{
+    std::lock_guard<std::mutex> lock(load_mutex);
+    if (loaded)
+        return;
+    loaded = true;
+    // Corrupt lines (torn appends, bad checksums, wrong field
+    // counts) are quarantined instead of aborting or poisoning the
+    // run: the affected cells degrade to cache misses.
+    loadChecksummedRecords(
+        resultCachePath(), kResultCacheVersion,
+        [](const std::string &key, const std::string &payload) {
+            auto r = deserializeResult(payload);
+            if (!r)
+                return false;
+            CacheShard &shard = shardFor(key);
+            std::lock_guard<std::mutex> shard_lock(shard.mutex);
+            shard.entries[key] = std::move(*r);
+            return true;
+        });
+}
+
+} // namespace
+
 std::string
-serialize(const RunResult &r)
+serializeResult(const RunResult &r)
 {
     std::ostringstream out;
     out.precision(17);
@@ -75,7 +101,7 @@ serialize(const RunResult &r)
 }
 
 std::optional<RunResult>
-deserialize(const std::string &line)
+deserializeResult(const std::string &line)
 {
     std::istringstream in(line);
     RunResult r;
@@ -92,34 +118,13 @@ deserialize(const std::string &line)
         r.gpuPower.staticW >> r.gpuPower.dynamicW >> r.systemPowerW;
     if (!in)
         return std::nullopt;
+    // Trailing garbage means the field count is wrong for this
+    // schema — corrupt, not just old.
+    std::string extra;
+    if (in >> extra)
+        return std::nullopt;
     return r;
 }
-
-void
-loadOnce()
-{
-    std::lock_guard<std::mutex> lock(load_mutex);
-    if (loaded)
-        return;
-    loaded = true;
-    std::ifstream in(resultCachePath());
-    std::string line;
-    while (std::getline(in, line)) {
-        const auto sep = line.find('|');
-        if (sep == std::string::npos)
-            continue;
-        const std::string key = line.substr(0, sep);
-        if (key.rfind(kResultCacheVersion, 0) != 0)
-            continue; // stale schema version
-        if (auto r = deserialize(line.substr(sep + 1))) {
-            CacheShard &shard = shardFor(key);
-            std::lock_guard<std::mutex> shard_lock(shard.mutex);
-            shard.entries[key] = std::move(*r);
-        }
-    }
-}
-
-} // namespace
 
 bool
 cacheEnabled()
@@ -163,11 +168,22 @@ cacheStore(const std::string &key, const RunResult &r)
         std::lock_guard<std::mutex> lock(shard.mutex);
         shard.entries[key] = r;
     }
-    std::lock_guard<std::mutex> lock(file_mutex);
-    std::error_code ec; // best-effort: a failed append only loses memoization
-    std::filesystem::create_directories(cacheDir(), ec);
-    std::ofstream out(resultCachePath(), std::ios::app);
-    out << key << '|' << serialize(r) << '\n';
+    // Whole checksummed record in one O_APPEND write: concurrent
+    // bench binaries can interleave records but never tear one.
+    // Best-effort — a failed append only loses memoization.
+    atomicAppend(resultCachePath(),
+                 checksummedRecord(key, serializeResult(r)));
+}
+
+void
+resultCacheResetForTesting()
+{
+    std::lock_guard<std::mutex> lock(load_mutex);
+    for (CacheShard &s : shards) {
+        std::lock_guard<std::mutex> shard_lock(s.mutex);
+        s.entries.clear();
+    }
+    loaded = false;
 }
 
 } // namespace harness

@@ -52,6 +52,26 @@ std::optional<RunResult> cacheLookup(const std::string &key);
 /** Persist a result (no-op when caching is disabled). */
 void cacheStore(const std::string &key, const RunResult &r);
 
+/**
+ * Round-trip-exact text serialization of a RunResult (doubles at
+ * max_digits10), shared by the result cache and the grid journal so
+ * a resumed cell is byte-identical to a freshly simulated one.
+ * `RunResult::config` is NOT serialized — both consumers restamp it
+ * from the active SimConfig on lookup.
+ */
+std::string serializeResult(const RunResult &r);
+
+/** Inverse of `serializeResult`; nullopt on any malformed field. */
+std::optional<RunResult> deserializeResult(const std::string &line);
+
+/**
+ * Drop the in-memory result cache and forget that the file was
+ * loaded, so the next lookup re-reads disk. Testing hook only — the
+ * cache-robustness tests use it to exercise corrupt-file loads
+ * repeatedly in one process.
+ */
+void resultCacheResetForTesting();
+
 } // namespace harness
 } // namespace valley
 

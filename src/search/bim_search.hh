@@ -119,6 +119,17 @@ struct SearchOptions
     unsigned minTaps = 1;        ///< minimum taps per target row
 
     /**
+     * Per-member weights for the joint objective's Mean combiner,
+     * matched to the workload set's canonical `members()` order.
+     * Empty = uniform (bit-identical to the pre-weights behavior, so
+     * `kSearchVersion` stays put). `searchSet` copies them into the
+     * `JointObjective::memberWeights` it builds; the WorstCase
+     * combiner ignores them (see objective.hh). Size must equal the
+     * set size when non-empty. Folded into the SBIM cache key.
+     */
+    std::vector<double> memberWeights;
+
+    /**
      * Hard cap on `rowEntropy` evaluations per search run — `anneal()`
      * and `greedy()` each enforce it independently; 0 = unlimited.
      * The budget is split evenly across restarts and each chain stops

@@ -1,19 +1,20 @@
 #include "search/sbim_cache.hh"
 
 #include <cinttypes>
-#include <filesystem>
-#include <fstream>
 #include <map>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
 
+#include "harness/atomic_io.hh"
 #include "harness/result_cache.hh"
 
 namespace valley {
 namespace search {
 
-const char *kSbimCacheVersion = "m1";
+// m2: checksummed record lines (atomic_io.hh) + memberWeights in the
+// key — pre-checksum epochs are skipped as stale on load.
+const char *kSbimCacheVersion = "m2";
 
 std::string
 sbimCachePath()
@@ -80,18 +81,18 @@ loadOnceLocked()
     if (loaded)
         return;
     loaded = true;
-    std::ifstream in(sbimCachePath());
-    std::string line;
-    while (std::getline(in, line)) {
-        const auto sep = line.find('|');
-        if (sep == std::string::npos)
-            continue;
-        const std::string key = line.substr(0, sep);
-        if (key.rfind(kSbimCacheVersion, 0) != 0)
-            continue; // stale schema version
-        if (auto c = deserialize(line.substr(sep + 1)))
+    // Skip-and-quarantine: a corrupt matrix line (torn append, bad
+    // checksum, non-invertible bim) degrades to a cache miss — the
+    // search reruns — instead of handing the grid a garbage mapper.
+    harness::loadChecksummedRecords(
+        sbimCachePath(), kSbimCacheVersion,
+        [](const std::string &key, const std::string &payload) {
+            auto c = deserialize(payload);
+            if (!c)
+                return false;
             cache[key] = std::move(*c);
-    }
+            return true;
+        });
 }
 
 } // namespace
@@ -117,6 +118,14 @@ keyFromField(const std::string &escaped_workload_field, double scale,
         << opts.restarts << ';' << opts.iterations << ';'
         << opts.initialTemp << ';' << opts.finalTemp << ';'
         << opts.minTaps << ";e" << opts.maxEvaluations;
+    // Weights shape the joint objective and hence the searched
+    // matrix; empty (uniform) adds no field, so unweighted searches
+    // key identically whether or not the build knows about weights.
+    if (!opts.memberWeights.empty()) {
+        out << ";w";
+        for (double w : opts.memberWeights)
+            out << ',' << w;
+    }
     return out.str();
 }
 
@@ -189,10 +198,18 @@ sbimCacheStore(const std::string &key, const SearchResult &r)
     c.targetEntropy = r.targetEntropy;
     cache[key] = std::move(c);
 
-    std::error_code ec; // best-effort: a failed append only loses memoization
-    std::filesystem::create_directories(harness::cacheDir(), ec);
-    std::ofstream out(sbimCachePath(), std::ios::app);
-    out << key << '|' << serialize(r) << '\n';
+    // Whole checksummed record in one O_APPEND write; best-effort —
+    // a failed append only loses memoization.
+    harness::atomicAppend(sbimCachePath(),
+                          harness::checksummedRecord(key, serialize(r)));
+}
+
+void
+sbimCacheResetForTesting()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    cache.clear();
+    loaded = false;
 }
 
 } // namespace search

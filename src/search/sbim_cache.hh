@@ -91,6 +91,12 @@ std::optional<CachedSearch> sbimCacheLookup(const std::string &key);
 /** Persist a search result (no-op when caching is disabled). */
 void sbimCacheStore(const std::string &key, const SearchResult &r);
 
+/**
+ * Drop the in-memory SBIM cache and forget that the file was loaded
+ * (next lookup re-reads disk). Testing hook only.
+ */
+void sbimCacheResetForTesting();
+
 } // namespace search
 } // namespace valley
 

@@ -1,6 +1,7 @@
 #include "search/searched_bim.hh"
 
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
@@ -106,10 +107,11 @@ struct SetPipeline
         ptrs.reserve(planes.size());
         for (const TracePlanes &p : planes)
             ptrs.push_back(&p);
+        JointObjective obj =
+            defaultJointObjective(layout, opts.targets, opts.combiner);
+        obj.memberWeights = opts.memberWeights;
         searcher = std::make_unique<BimSearch>(
-            layout, std::move(ptrs),
-            defaultJointObjective(layout, opts.targets, opts.combiner),
-            opts);
+            layout, std::move(ptrs), std::move(obj), opts);
     }
 };
 
@@ -123,6 +125,24 @@ defaultFromLayout(SearchOptions &opts, const AddressLayout &layout)
         opts.candidateMask = layout.pageMask();
 }
 
+/**
+ * A weight vector that does not line up with the set would silently
+ * weight the wrong members (the set canonicalizes member order), so
+ * mismatches fail loudly at every entry point — including cache-hit
+ * paths that never build the objective.
+ */
+void
+validateWeights(const workloads::WorkloadSet &set,
+                const SearchOptions &opts)
+{
+    if (!opts.memberWeights.empty() &&
+        opts.memberWeights.size() != set.size())
+        throw std::invalid_argument(
+            "searchSet: memberWeights size " +
+            std::to_string(opts.memberWeights.size()) +
+            " != workload set size " + std::to_string(set.size()));
+}
+
 } // namespace
 
 SetSearchResult
@@ -131,6 +151,7 @@ searchSet(const workloads::WorkloadSet &set,
           double scale)
 {
     defaultFromLayout(opts, layout);
+    validateWeights(set, opts);
 
     SetSearchResult out;
 
@@ -205,6 +226,7 @@ setMapper(const AddressLayout &layout,
 {
     SearchOptions opts = opts_in;
     defaultFromLayout(opts, layout);
+    validateWeights(set, opts);
     // A cache hit skips the whole pipeline — including trace-plane
     // extraction for every member — so repeated SBIM/GBIM grid cells
     // pay only the lookup.

@@ -72,6 +72,16 @@ class WorkloadSet
      */
     static WorkloadSet parse(const std::string &list);
 
+    /**
+     * The raw member-splitting step of `parse`, exposed separately:
+     * the member strings in *input order*, before canonicalization,
+     * sorting or deduplication. This is the order a user's positional
+     * side-channel data (e.g. `valley_search --weights`) refers to,
+     * which `canonicalMemberWeights` then maps onto the canonical
+     * `members()` order.
+     */
+    static std::vector<std::string> splitList(const std::string &list);
+
     /** Canonical members, sorted; the set's defining order. */
     const std::vector<std::string> &members() const { return members_; }
 
@@ -101,6 +111,19 @@ class WorkloadSet
     std::string key_;
     std::uint64_t hash_ = 0;
 };
+
+/**
+ * Map per-member weights given in raw input order (one per entry of
+ * `raw_members`, e.g. a `--weights` list matched to a `--set` list)
+ * onto the canonical `members()` order of
+ * `WorkloadSet(raw_members)`. Duplicate spellings of the same member
+ * sum their weights — `{MT, MT}` with `{1, 2}` weights MT at 3.
+ * Throws `std::invalid_argument` on a size mismatch or a
+ * non-positive weight.
+ */
+std::vector<double> canonicalMemberWeights(
+    const std::vector<std::string> &raw_members,
+    const std::vector<double> &weights);
 
 } // namespace workloads
 } // namespace valley

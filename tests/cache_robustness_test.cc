@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Fault-tolerance tests for the three on-disk caches (results,
+ * profiles, searched BIMs) and the shared atomic-IO layer beneath
+ * them: corrupt lines — truncated tails, flipped checksums, wrong
+ * field counts, stray NULs — must never abort a run. They are
+ * skipped-and-quarantined (moved to `cache/quarantine/`, counted,
+ * logged), the good entries still load, and the affected keys
+ * degrade to cache misses that repopulate on the next store.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bim/bit_matrix.hh"
+#include "harness/atomic_io.hh"
+#include "harness/profile_cache.hh"
+#include "harness/result_cache.hh"
+#include "search/sbim_cache.hh"
+
+using namespace valley;
+
+namespace {
+
+void
+resetAllCaches()
+{
+    harness::resultCacheResetForTesting();
+    harness::profileCacheResetForTesting();
+    search::sbimCacheResetForTesting();
+}
+
+/** Fresh cache dir per test; caches reset so they re-read it. */
+class CacheRobustnessTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir = std::filesystem::temp_directory_path() /
+              ("valley_robust_test_" + std::to_string(::getpid()));
+        std::filesystem::remove_all(dir);
+        setenv("VALLEY_CACHE_DIR", dir.c_str(), 1);
+        unsetenv("VALLEY_CACHE");
+        resetAllCaches();
+    }
+
+    void
+    TearDown() override
+    {
+        resetAllCaches(); // drop this dir's entries from memory
+        unsetenv("VALLEY_CACHE_DIR");
+        std::filesystem::remove_all(dir);
+    }
+
+    /** Append raw bytes (possibly with NULs) to a cache file. */
+    static void
+    appendRaw(const std::string &path, const std::string &bytes)
+    {
+        std::ofstream out(path,
+                          std::ios::app | std::ios::binary);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+
+    static std::string
+    readAll(const std::string &path)
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        return buf.str();
+    }
+
+    std::string
+    quarantinePath(const std::string &cache_path) const
+    {
+        return harness::cacheDir() + "/quarantine/" +
+               std::filesystem::path(cache_path).filename().string();
+    }
+
+    std::filesystem::path dir;
+};
+
+RunResult
+sampleResult(const std::string &workload)
+{
+    RunResult r;
+    r.workload = workload;
+    r.scheme = "BASE";
+    r.cycles = 12345;
+    r.seconds = 0.03125;
+    r.llcMissRate = 1.0 / 3.0;
+    r.systemPowerW = 0.91829583405448945;
+    return r;
+}
+
+} // namespace
+
+TEST(AtomicIo, ChecksummedRecordRoundTrips)
+{
+    const std::string rec =
+        harness::checksummedRecord("v9;some;key", "1 2 3.5");
+    ASSERT_FALSE(rec.empty());
+    EXPECT_EQ(rec.back(), '\n');
+    const auto parsed = harness::parseChecksummedRecord(
+        rec.substr(0, rec.size() - 1));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->first, "v9;some;key");
+    EXPECT_EQ(parsed->second, "1 2 3.5");
+}
+
+TEST(AtomicIo, ParseRejectsTamperedTruncatedAndNulLines)
+{
+    std::string rec = harness::checksummedRecord("k", "payload");
+    rec.pop_back(); // strip '\n'
+
+    std::string flipped = rec;
+    flipped[2] = flipped[2] == 'x' ? 'y' : 'x'; // corrupt payload
+    EXPECT_FALSE(harness::parseChecksummedRecord(flipped));
+
+    EXPECT_FALSE(harness::parseChecksummedRecord(
+        rec.substr(0, rec.size() / 2))); // torn append
+    EXPECT_FALSE(harness::parseChecksummedRecord("k|payload"));
+    EXPECT_FALSE(harness::parseChecksummedRecord(
+        "k|payload|cnothexnothexnot!"));
+    std::string nulled = rec;
+    nulled[1] = '\0';
+    EXPECT_FALSE(harness::parseChecksummedRecord(nulled));
+
+    EXPECT_TRUE(harness::parseChecksummedRecord(rec));
+}
+
+TEST_F(CacheRobustnessTest, AtomicWriteFileReplacesWholeFile)
+{
+    const std::string path = (dir / "f.txt").string();
+    ASSERT_TRUE(harness::atomicWriteFile(path, "first\n"));
+    ASSERT_TRUE(harness::atomicWriteFile(path, "second\n"));
+    EXPECT_EQ(readAll(path), "second\n");
+    // No temp droppings left behind.
+    std::size_t files = 0;
+    for (const auto &e : std::filesystem::directory_iterator(dir))
+        files += e.is_regular_file() ? 1 : 0;
+    EXPECT_EQ(files, 1u);
+}
+
+TEST_F(CacheRobustnessTest, ResultCacheQuarantinesCorruptLines)
+{
+    const std::string k1 =
+        harness::cacheKey("cfg", "MT", "BASE", 1, 1.0);
+    const std::string k2 =
+        harness::cacheKey("cfg", "LU", "BASE", 1, 1.0);
+    const RunResult r1 = sampleResult("MT");
+    const RunResult r2 = sampleResult("LU");
+    harness::cacheStore(k1, r1);
+    harness::cacheStore(k2, r2);
+    resetAllCaches(); // force the next lookup to re-read disk
+
+    const std::string path = harness::resultCachePath();
+    const std::string v = harness::kResultCacheVersion;
+    // Torn append: half a record, cut mid-payload.
+    const std::string torn = harness::checksummedRecord(
+        v + ";cfg;HS;BASE;1;1", harness::serializeResult(r1));
+    appendRaw(path, torn.substr(0, torn.size() / 2) + "\n");
+    // Bit rot: checksum no longer matches the payload.
+    std::string rotted = harness::checksummedRecord(
+        v + ";cfg;SC;BASE;1;1", harness::serializeResult(r2));
+    rotted[rotted.find("BASE") + 1] = 'X';
+    appendRaw(path, rotted);
+    // Wrong field count: checksum fine, schema wrong.
+    appendRaw(path, harness::checksummedRecord(
+                        v + ";cfg;GS;BASE;1;1", "1 2 3"));
+    // Stray NULs inside an otherwise current-version line.
+    appendRaw(path, v + std::string(";cfg;NW;BASE;1;1|pay") +
+                        std::string(1, '\0') + "load|c0123456789abcdef\n");
+    // A pre-checksum epoch line is stale, NOT corrupt: preserved.
+    appendRaw(path, "v3;cfg;MT;BASE;1;1|1 2 3\n");
+
+    const std::uint64_t before = harness::quarantinedLineCount();
+    const auto hit1 = harness::cacheLookup(k1);
+    ASSERT_TRUE(hit1.has_value()); // good lines survive the cleanup
+    EXPECT_EQ(*hit1, r1);
+    const auto hit2 = harness::cacheLookup(k2);
+    ASSERT_TRUE(hit2.has_value());
+    EXPECT_EQ(*hit2, r2);
+    EXPECT_EQ(harness::quarantinedLineCount(), before + 4);
+
+    // The corrupt lines moved to quarantine; the rewritten cache file
+    // keeps the good and the stale lines only.
+    const std::string qfile = quarantinePath(path);
+    ASSERT_TRUE(std::filesystem::exists(qfile));
+    const std::string quarantined = readAll(qfile);
+    EXPECT_NE(quarantined.find(";cfg;GS;"), std::string::npos);
+    const std::string cleaned = readAll(path);
+    EXPECT_EQ(cleaned.find(";cfg;GS;"), std::string::npos);
+    EXPECT_EQ(cleaned.find('\0'), std::string::npos);
+    EXPECT_NE(cleaned.find("v3;cfg;MT;"), std::string::npos);
+
+    // The corrupted cells degraded to misses and repopulate.
+    const std::string k3 =
+        harness::cacheKey("cfg", "HS", "BASE", 1, 1.0);
+    EXPECT_FALSE(harness::cacheLookup(k3).has_value());
+    harness::cacheStore(k3, sampleResult("HS"));
+    resetAllCaches();
+    EXPECT_TRUE(harness::cacheLookup(k3).has_value());
+}
+
+TEST_F(CacheRobustnessTest, ProfileCacheQuarantinesCorruptLines)
+{
+    const std::string key = harness::profileCacheKey(
+        "MT", "", 12, 32, EntropyMetric::BitProbability, 1.0);
+    EntropyProfile p;
+    p.weight = 7;
+    p.perBit = {0.25, 1.0 / 3.0, 1.0};
+    harness::profileCacheStore(key, p);
+    resetAllCaches();
+
+    const std::string path = harness::profileCachePath();
+    const std::string v = harness::kProfileCacheVersion;
+    // Valid checksum, impossible payload (2 bits declared, 1 given).
+    appendRaw(path, harness::checksummedRecord(v + ";LU;identity",
+                                               "7 2 0.5"));
+    // Torn record.
+    const std::string torn =
+        harness::checksummedRecord(v + ";GS;identity", "7 1 0.5");
+    appendRaw(path, torn.substr(0, torn.size() - 6) + "\n");
+
+    const std::uint64_t before = harness::quarantinedLineCount();
+    const auto hit = harness::profileCacheLookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->weight, p.weight);
+    EXPECT_EQ(hit->perBit, p.perBit);
+    EXPECT_EQ(harness::quarantinedLineCount(), before + 2);
+    EXPECT_TRUE(std::filesystem::exists(quarantinePath(path)));
+}
+
+TEST_F(CacheRobustnessTest, SbimCacheQuarantinesCorruptLines)
+{
+    search::SearchResult good;
+    good.bim = BitMatrix::identity(8);
+    good.cost = 0.125;
+    good.identityCost = 0.5;
+    good.targetEntropy = {0.75, 0.875};
+    const std::string key =
+        std::string(search::kSbimCacheVersion) + ";robust;test;key";
+    search::sbimCacheStore(key, good);
+    resetAllCaches();
+
+    const std::string path = search::sbimCachePath();
+    const std::string v = search::kSbimCacheVersion;
+    // Valid checksum, non-invertible matrix (all-zero rows): the
+    // deserializer must refuse to hand the grid a garbage mapper.
+    appendRaw(path,
+              harness::checksummedRecord(
+                  v + ";zeros", "4 0 0 0 0 1.0 2.0 1 0.5"));
+    // Flipped checksum digit.
+    std::string rotted =
+        harness::checksummedRecord(v + ";rot", "1 1 0.1 0.2 0");
+    const std::size_t crc_at = rotted.rfind("|c") + 2;
+    rotted[crc_at] = rotted[crc_at] == '0' ? '1' : '0';
+    appendRaw(path, rotted);
+
+    const std::uint64_t before = harness::quarantinedLineCount();
+    const auto hit = search::sbimCacheLookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(hit->bim == good.bim);
+    EXPECT_EQ(hit->cost, good.cost);
+    EXPECT_EQ(hit->targetEntropy, good.targetEntropy);
+    EXPECT_EQ(harness::quarantinedLineCount(), before + 2);
+    EXPECT_TRUE(std::filesystem::exists(quarantinePath(path)));
+    EXPECT_FALSE(
+        search::sbimCacheLookup(v + ";zeros").has_value());
+}

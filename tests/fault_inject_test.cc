@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the deterministic fault-injection hook: spec parsing,
+ * exact-Nth-hit triggering, site filtering, and disarm/reset — the
+ * machinery `bench/resume_smoke` and the CI interrupted-grid step
+ * rely on. (Kill mode is exercised end-to-end by CI, not here: a
+ * gtest process that _Exit(42)s fails the suite by design.)
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/fault_inject.hh"
+
+using namespace valley;
+
+namespace {
+
+/** Disarm on scope exit so no test leaks an armed spec. */
+struct Disarm
+{
+    ~Disarm() { fault::configure(""); }
+};
+
+} // namespace
+
+TEST(FaultInject, MalformedSpecsAreRejected)
+{
+    EXPECT_THROW(fault::configure("nosite"), std::invalid_argument);
+    EXPECT_THROW(fault::configure(":3"), std::invalid_argument);
+    EXPECT_THROW(fault::configure("site:"), std::invalid_argument);
+    EXPECT_THROW(fault::configure("site:0"), std::invalid_argument);
+    EXPECT_THROW(fault::configure("site:x"), std::invalid_argument);
+    EXPECT_THROW(fault::configure("site:3:explode"),
+                 std::invalid_argument);
+}
+
+TEST(FaultInject, ThrowsAtExactlyTheNthHit)
+{
+    Disarm guard;
+    fault::configure("cell:3:throw");
+    fault::maybeInject("cell");
+    fault::maybeInject("cell");
+    EXPECT_EQ(fault::hitCount(), 2u);
+    EXPECT_THROW(fault::maybeInject("cell"), fault::Injected);
+    // Hits past N pass through: a resumed run that re-counts from an
+    // earlier total must not re-fire a once-triggered fault.
+    fault::maybeInject("cell");
+    EXPECT_EQ(fault::hitCount(), 4u);
+}
+
+TEST(FaultInject, OtherSitesDoNotCount)
+{
+    Disarm guard;
+    fault::configure("cache_write:1");
+    fault::maybeInject("grid_cell");
+    fault::maybeInject("grid_cell");
+    EXPECT_EQ(fault::hitCount(), 0u);
+    EXPECT_THROW(fault::maybeInject("cache_write"), fault::Injected);
+}
+
+TEST(FaultInject, DefaultModeIsThrow)
+{
+    Disarm guard;
+    fault::configure("s:1");
+    EXPECT_THROW(fault::maybeInject("s"), fault::Injected);
+}
+
+TEST(FaultInject, DisarmResetsCounterAndSilences)
+{
+    Disarm guard;
+    fault::configure("s:2");
+    fault::maybeInject("s");
+    EXPECT_EQ(fault::hitCount(), 1u);
+    fault::configure("");
+    EXPECT_EQ(fault::hitCount(), 0u);
+    // Disarmed: the would-be 2nd hit is a no-op.
+    fault::maybeInject("s");
+    EXPECT_EQ(fault::hitCount(), 0u);
+    // Re-arming restarts the count from zero.
+    fault::configure("s:2");
+    fault::maybeInject("s");
+    EXPECT_EQ(fault::hitCount(), 1u);
+    EXPECT_THROW(fault::maybeInject("s"), fault::Injected);
+}

@@ -218,6 +218,64 @@ TEST(JointSearch, SizeOneSetBitIdenticalToSearchWorkload)
     EXPECT_TRUE(m1->matrix() == m2->matrix());
 }
 
+TEST(JointSearch, WeightedSizeOneEqualsUnweighted)
+{
+    // With one member, the weighted mean collapses to the member
+    // cost no matter the weight, so the searched matrix must be
+    // bit-identical to the unweighted search.
+    const CacheOff off;
+    const AddressLayout layout = gddr5();
+    const WorkloadSet set({"MT"});
+
+    const SearchOptions plain = smallOptions(layout);
+    SearchOptions weighted = plain;
+    weighted.memberWeights = {2.5};
+
+    const SetSearchResult a = searchSet(set, layout, plain, kScale);
+    const SetSearchResult b = searchSet(set, layout, weighted, kScale);
+    EXPECT_TRUE(a.annealed.bim == b.annealed.bim);
+    EXPECT_EQ(a.annealed.cost, b.annealed.cost);
+    EXPECT_EQ(a.annealed.targetEntropy, b.annealed.targetEntropy);
+}
+
+TEST(JointSearch, MismatchedWeightsAreRejected)
+{
+    const CacheOff off;
+    const AddressLayout layout = gddr5();
+    SearchOptions opts = smallOptions(layout);
+    opts.memberWeights = {1.0, 2.0, 3.0};
+    EXPECT_THROW(
+        searchSet(WorkloadSet({"MT", "LU"}), layout, opts, kScale),
+        std::invalid_argument);
+    EXPECT_THROW(setMapper(layout, WorkloadSet({"MT", "LU"}), opts,
+                           kScale),
+                 std::invalid_argument);
+}
+
+TEST(JointSearch, WeightsShapeTheSbimCacheKey)
+{
+    // Weights change the searched matrix, so they must change the
+    // cache key — and empty weights must key exactly like a build
+    // that predates the field.
+    const AddressLayout layout = gddr5();
+    const WorkloadSet set({"MT", "LU"});
+    const SearchOptions plain = smallOptions(layout);
+    SearchOptions weighted = plain;
+    weighted.memberWeights = {1.0, 2.0};
+    SearchOptions reweighted = plain;
+    reweighted.memberWeights = {2.0, 1.0};
+
+    const std::string k0 =
+        sbimCacheKey(set, kScale, layout.name, plain);
+    const std::string k1 =
+        sbimCacheKey(set, kScale, layout.name, weighted);
+    const std::string k2 =
+        sbimCacheKey(set, kScale, layout.name, reweighted);
+    EXPECT_NE(k0, k1);
+    EXPECT_NE(k0, k2);
+    EXPECT_NE(k1, k2);
+}
+
 TEST(JointSearch, MaxEvaluationsIsAHardDeterministicCap)
 {
     const AddressLayout layout = gddr5();

@@ -11,7 +11,9 @@
 
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
+#include "harness/atomic_io.hh"
 #include "harness/profile_cache.hh"
 #include "harness/result_cache.hh"
 #include "workloads/profiler.hh"
@@ -167,11 +169,13 @@ TEST(ProfileCache, DiskFormatParsesAtFullPrecision)
     const std::string key = harness::profileCacheKey(
         "DISKTEST", "X", 12, 3, EntropyMetric::BitProbability, 1.0);
     {
-        std::filesystem::create_directories(harness::cacheDir());
-        std::ofstream out(harness::profileCachePath(), std::ios::app);
-        out.precision(17);
-        out << key << '|' << 123456789 << " 3 " << 1.0 / 3.0 << ' '
-            << 0.91829583405448945 << " 5e-324\n";
+        std::ostringstream payload;
+        payload.precision(17);
+        payload << 123456789 << " 3 " << 1.0 / 3.0 << ' '
+                << 0.91829583405448945 << " 5e-324";
+        harness::atomicAppend(
+            harness::profileCachePath(),
+            harness::checksummedRecord(key, payload.str()));
     }
     const auto hit = harness::profileCacheLookup(key);
     ASSERT_TRUE(hit.has_value());

@@ -7,8 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.hh"
@@ -78,4 +81,61 @@ TEST(ThreadPool, DefaultThreadsIsPositive)
     EXPECT_GE(ThreadPool::defaultThreads(), 1u);
     ThreadPool pool;
     EXPECT_GE(pool.threadCount(), 1u);
+}
+
+TEST(ThreadPool, StealsFromBlockedWorker)
+{
+    // Round-robin placement (task i -> deque i % 2) puts `setter`
+    // and `blocker` on worker 0's deque, `trivial` on worker 1's.
+    // Worker 0 claims its own deque from the BACK, so its first task
+    // is `blocker`, which waits on the promise only `setter` fulfils
+    // — and `setter`, sitting at worker 0's FRONT, can only ever be
+    // claimed by worker 1's steal. Any interleaving therefore forces
+    // at least one steal, and a pool without stealing would deadlock
+    // here (worker 0 blocked forever on its own front task).
+    ThreadPool pool(2);
+    std::promise<void> ready;
+    std::shared_future<void> fut = ready.get_future().share();
+    pool.submit([&ready] { ready.set_value(); });     // -> deque 0
+    pool.submit([] {});                               // -> deque 1
+    pool.submit([fut] {
+        ASSERT_EQ(fut.wait_for(std::chrono::seconds(30)),
+                  std::future_status::ready)
+            << "setter was never stolen";
+    });                                               // -> deque 0
+    pool.run();
+    EXPECT_GE(pool.stealCount(), 1u);
+}
+
+TEST(ThreadPool, SkewedLoadIsRebalancedByStealing)
+{
+    // All the slow tasks land on worker 0 (round-robin placement);
+    // the other workers drain their trivial tasks immediately and
+    // must steal from worker 0's backlog to help. The static
+    // partition this pool replaced would leave them idle.
+    ThreadPool pool(4);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 32; ++i) {
+        const bool slow = i % 4 == 0;
+        pool.submit([&done, slow] {
+            if (slow)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(2));
+            ++done;
+        });
+    }
+    pool.run();
+    EXPECT_EQ(done.load(), 32);
+    EXPECT_GE(pool.stealCount(), 1u);
+}
+
+TEST(ThreadPool, NoStealsWithOneWorker)
+{
+    ThreadPool pool(1);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 16; ++i)
+        pool.submit([&done] { ++done; });
+    pool.run();
+    EXPECT_EQ(done.load(), 16);
+    EXPECT_EQ(pool.stealCount(), 0u);
 }

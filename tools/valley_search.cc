@@ -72,6 +72,10 @@ Options:
                   preceding synth: member). Order-insensitive.
   --combine C     joint member-cost combiner: mean (default) or
                   worst (optimize the worst-served member)
+  --weights W,... per-member weights for the mean combiner, matched
+                  positionally to the --set list (duplicates sum);
+                  each weight must be > 0. Requires --set; ignored
+                  by --combine worst. Default: uniform
   --list          print the known workloads and synth families, exit
   --scale S       problem-size scale in (0, 1]; default 0.25
   --layout L      DRAM layout: gddr5 (default) or 3d
@@ -104,6 +108,7 @@ struct CliOptions
 {
     std::string workload;
     std::string set;
+    std::string weights;
     std::string out;
     double scale = 0.25;
     bool use3d = false;
@@ -139,6 +144,8 @@ parseArgs(int argc, char **argv)
             o.workload = need(i, "--workload");
         } else if (a == "--set") {
             o.set = need(i, "--set");
+        } else if (a == "--weights") {
+            o.weights = need(i, "--weights");
         } else if (a == "--combine") {
             const std::string c = need(i, "--combine");
             if (c == "mean")
@@ -273,6 +280,13 @@ writeJson(const std::string &path, const CliOptions &o,
         out << "  \"set_id\": \"" << set.shortId() << "\",\n";
         out << "  \"combine\": \""
             << search::combinerName(so.combiner) << "\",\n";
+        if (!so.memberWeights.empty()) {
+            // Canonical members() order, like member_costs.
+            out << "  \"member_weights\": [";
+            for (std::size_t m = 0; m < so.memberWeights.size(); ++m)
+                out << (m ? ", " : "") << so.memberWeights[m];
+            out << "],\n";
+        }
     }
     out << "  \"layout\": \"" << (o.use3d ? "3d" : "gddr5")
         << "\",\n";
@@ -358,13 +372,42 @@ main(int argc, char **argv)
         usageError("--workload or --set is required");
     if (!o.workload.empty() && !o.set.empty())
         usageError("--workload and --set are mutually exclusive");
+    if (!o.weights.empty() && o.set.empty())
+        usageError("--weights requires --set");
 
     std::unique_ptr<workloads::WorkloadSet> set;
+    std::vector<double> weights;
     try {
         set = std::make_unique<workloads::WorkloadSet>(
             o.set.empty()
                 ? workloads::WorkloadSet({o.workload})
                 : workloads::WorkloadSet::parse(o.set));
+        if (!o.weights.empty()) {
+            // One weight per raw --set member, in --set order; the
+            // set canonicalizes (sorts, dedups) its members, so the
+            // weights are remapped onto that canonical order here.
+            std::vector<double> raw_weights;
+            std::size_t start = 0;
+            while (start <= o.weights.size()) {
+                const std::size_t comma = o.weights.find(',', start);
+                const std::size_t end = comma == std::string::npos
+                                            ? o.weights.size()
+                                            : comma;
+                const std::string f =
+                    o.weights.substr(start, end - start);
+                std::size_t used = 0;
+                const double w = f.empty() ? 0.0 : std::stod(f, &used);
+                if (f.empty() || used != f.size())
+                    throw std::invalid_argument(
+                        "--weights: \"" + f + "\" is not a number");
+                raw_weights.push_back(w);
+                if (comma == std::string::npos)
+                    break;
+                start = comma + 1;
+            }
+            weights = workloads::canonicalMemberWeights(
+                workloads::WorkloadSet::splitList(o.set), raw_weights);
+        }
     } catch (const std::exception &e) {
         usageError(e.what());
     }
@@ -375,6 +418,7 @@ main(int argc, char **argv)
     search::SearchOptions so = o.search;
     so.targets = layout.randomizeTargets();
     so.candidateMask = layout.pageMask();
+    so.memberWeights = weights;
 
     const bool joint = set->size() > 1;
     const std::string label =
