@@ -14,11 +14,12 @@
  * joint search, or a huge-scale synth member, can run orders of
  * magnitude longer than a cached BASE cell. A static per-thread
  * partition would leave every other worker idle behind the one
- * stuck with the expensive cells. Here `submit` deals tasks
- * round-robin onto per-worker deques (task i of a round lands on
- * deque i % threads — a documented, deterministic placement the
- * tests rely on); each worker drains its own deque from the back
- * (LIFO — cache-warm), and when empty steals the *oldest* task from
+ * stuck with the expensive cells. Here `submit` stages tasks and
+ * `run` deals them round-robin onto per-worker deques (task i of a
+ * round lands on deque i % threads — a documented, deterministic
+ * placement the tests rely on); each worker drains its own deque
+ * from the back (LIFO — cache-warm), and when empty steals the
+ * *oldest* task from
  * another worker's front (FIFO — the classic stealing discipline
  * that moves the biggest remaining chunks). `stealCount()` exposes
  * how often that rebalancing fired; the grid's progress output
@@ -87,20 +88,19 @@ class ThreadPool
      * Queue one task; run() executes everything queued so far.
      * Placement is deterministic: the i-th task submitted since the
      * last run() lands on worker deque i % threadCount().
+     *
+     * Tasks are staged caller-side and only published into the
+     * worker deques inside run(): a worker that is still scanning
+     * after finishing the previous round's last task must never see
+     * next-round tasks before run() has initialized the round
+     * counters (the claim ticket in claimTask() closes the residual
+     * window during run()'s own dealing).
      */
     void
     submit(std::function<void()> task)
     {
-        std::size_t slot;
-        {
-            std::lock_guard<std::mutex> lock(mutex);
-            slot = nextDeque;
-            nextDeque = (nextDeque + 1) % deques.size();
-            ++submitted;
-        }
-        WorkerDeque &d = *deques[slot];
-        std::lock_guard<std::mutex> lock(d.mutex);
-        d.tasks.push_back(std::move(task));
+        std::lock_guard<std::mutex> lock(mutex);
+        staged.push_back(std::move(task));
     }
 
     /**
@@ -112,12 +112,23 @@ class ThreadPool
     run()
     {
         std::unique_lock<std::mutex> lock(mutex);
-        if (submitted == 0)
+        if (staged.empty())
             return;
-        pending.store(submitted, std::memory_order_relaxed);
-        unclaimed.store(submitted, std::memory_order_release);
-        submitted = 0;
-        nextDeque = 0;
+        const std::size_t count = staged.size();
+        const std::size_t n = deques.size();
+        // Deal the staged round onto the deques (under each deque's
+        // lock — a stale scanner may be probing them, but without a
+        // ticket it cannot claim). Only after every task is in place
+        // does the `unclaimed` store below open the ticket window,
+        // so a ticket holder is guaranteed to find a task.
+        for (std::size_t i = 0; i < count; ++i) {
+            WorkerDeque &d = *deques[i % n];
+            std::lock_guard<std::mutex> dlock(d.mutex);
+            d.tasks.push_back(std::move(staged[i]));
+        }
+        staged.clear();
+        pending.store(count, std::memory_order_relaxed);
+        unclaimed.store(count, std::memory_order_release);
         wake.notify_all();
         done.wait(lock, [this] {
             return pending.load(std::memory_order_acquire) == 0;
@@ -157,11 +168,30 @@ class ThreadPool
     /**
      * Claim one task for worker `self`: own deque's back first
      * (LIFO), then the front of every other deque in scan order
-     * (FIFO steal). Decrements `unclaimed` on success.
+     * (FIFO steal).
+     *
+     * Claiming is gated on a *ticket*: CAS-decrement `unclaimed`
+     * only while it is positive, BEFORE touching any deque. A worker
+     * still scanning after the previous round drained therefore
+     * cannot claim tasks of a round whose counters run() has not yet
+     * published — the cross-round race that used to underflow
+     * `unclaimed`/`pending` and hang the pool. Because run() deals
+     * every task before it stores `unclaimed` (release, paired with
+     * the acquire CAS here), a ticket holder always finds a task:
+     * tasks never move between deques, so at any instant at least
+     * `tickets outstanding` tasks sit in the deques. The ticket
+     * refund on a failed scan is defensive only.
      */
     bool
     claimTask(unsigned self, std::function<void()> &out)
     {
+        std::size_t avail = unclaimed.load(std::memory_order_acquire);
+        do {
+            if (avail == 0)
+                return false;
+        } while (!unclaimed.compare_exchange_weak(
+            avail, avail - 1, std::memory_order_acquire,
+            std::memory_order_acquire));
         const std::size_t n = deques.size();
         {
             WorkerDeque &own = *deques[self];
@@ -169,7 +199,6 @@ class ThreadPool
             if (!own.tasks.empty()) {
                 out = std::move(own.tasks.back());
                 own.tasks.pop_back();
-                unclaimed.fetch_sub(1, std::memory_order_relaxed);
                 return true;
             }
         }
@@ -179,11 +208,11 @@ class ThreadPool
             if (!victim.tasks.empty()) {
                 out = std::move(victim.tasks.front());
                 victim.tasks.pop_front();
-                unclaimed.fetch_sub(1, std::memory_order_relaxed);
                 steals.fetch_add(1, std::memory_order_relaxed);
                 return true;
             }
         }
+        unclaimed.fetch_add(1, std::memory_order_release);
         return false;
     }
 
@@ -231,8 +260,9 @@ class ThreadPool
 
     std::vector<std::thread> workers;
     std::vector<std::unique_ptr<WorkerDeque>> deques;
-    std::size_t nextDeque = 0;  ///< round-robin submit cursor
-    std::size_t submitted = 0;  ///< tasks queued since last run()
+    /// Tasks queued since the last run(), not yet visible to
+    /// workers; run() deals them onto the deques.
+    std::vector<std::function<void()>> staged;
     std::atomic<std::size_t> pending{0};   ///< not yet finished
     std::atomic<std::size_t> unclaimed{0}; ///< not yet claimed
     std::atomic<std::uint64_t> steals{0};

@@ -1,10 +1,10 @@
 #include "harness/atomic_io.hh"
 
 #include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include <atomic>
-#include <cassert>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -40,6 +40,55 @@ hex16(std::uint64_t v)
     return buf;
 }
 
+/**
+ * RAII exclusive flock on a sidecar `<path>.lock` file. The lock
+ * lives on a file that is never renamed: `atomicWriteFile` replaces
+ * the data file's inode, so an flock on the data file itself would
+ * silently stop excluding appenders that open the path after the
+ * rename. Every appender and the load-time quarantine rewrite take
+ * this lock, which makes read+rewrite atomic with respect to
+ * concurrent appends (from other processes AND other threads —
+ * each holder opens its own descriptor, so flock serializes both).
+ * Best-effort: if the lock file cannot be opened we proceed
+ * unlocked, matching the caches' lose-memoization-never-correctness
+ * contract.
+ *
+ * The lock file is a *dotfile* (`.<basename>.lock`) so directory
+ * scans for data files (e.g. the journal's `grid_journal_*` glob)
+ * never pick it up as an empty data file.
+ */
+class FileLock
+{
+  public:
+    explicit FileLock(const std::string &path)
+    {
+        ensureParentDir(path);
+        const std::filesystem::path p(path);
+        std::string lockName(".");
+        lockName += p.filename().string();
+        lockName += ".lock";
+        const std::filesystem::path lockPath =
+            p.parent_path() / lockName;
+        fd = ::open(lockPath.c_str(), O_WRONLY | O_CREAT, 0644);
+        if (fd >= 0)
+            ::flock(fd, LOCK_EX);
+    }
+
+    ~FileLock()
+    {
+        if (fd >= 0) {
+            ::flock(fd, LOCK_UN);
+            ::close(fd);
+        }
+    }
+
+    FileLock(const FileLock &) = delete;
+    FileLock &operator=(const FileLock &) = delete;
+
+  private:
+    int fd = -1;
+};
+
 } // namespace
 
 bool
@@ -47,6 +96,12 @@ atomicAppend(const std::string &path, std::string_view data)
 {
     fault::maybeInject("cache_write");
     ensureParentDir(path);
+    // The flock (not O_APPEND, which already prevents intra-record
+    // tearing) is what keeps this append from racing a concurrent
+    // loadChecksummedRecords quarantine rewrite: the rewrite holds
+    // the same lock across its read+rename, so our record is either
+    // read (and preserved) or appended to the new file.
+    FileLock lock(path);
     const int fd = ::open(path.c_str(),
                           O_WRONLY | O_CREAT | O_APPEND, 0644);
     if (fd < 0)
@@ -105,9 +160,21 @@ atomicWriteFile(const std::string &path, std::string_view contents)
 std::string
 checksummedRecord(std::string_view key, std::string_view payload)
 {
-    assert(key.find('|') == std::string_view::npos &&
-           key.find('\n') == std::string_view::npos);
-    assert(payload.find('\n') == std::string_view::npos);
+    // Enforced unconditionally (not assert — NDEBUG builds must not
+    // write a record that parses as two lines, one of which then
+    // fails its checksum and quarantines on the next load). An
+    // invalid key/payload yields an empty record: the caller's
+    // append becomes a no-op, degrading to a cache miss.
+    if (key.find_first_of("|\n\r", 0) != std::string_view::npos ||
+        key.find('\0') != std::string_view::npos ||
+        payload.find_first_of("\n\r", 0) != std::string_view::npos ||
+        payload.find('\0') != std::string_view::npos) {
+        std::fprintf(stderr,
+                     "[valley] checksummedRecord: key or payload "
+                     "contains '|', newline, or NUL; record "
+                     "dropped\n");
+        return std::string();
+    }
     std::string body;
     body.reserve(key.size() + payload.size() + 20);
     body.append(key);
@@ -159,6 +226,11 @@ loadChecksummedRecords(
                              const std::string &payload)> &accept)
 {
     LoadStats stats;
+    // Exclusive lock across the whole read (+ possible quarantine
+    // rewrite below): a record appended between our read pass and
+    // the rename would otherwise be silently discarded by the
+    // rewrite, breaking the concurrent-appender guarantee.
+    FileLock lock(path);
     std::ifstream in(path);
     if (!in)
         return stats;

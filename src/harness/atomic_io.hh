@@ -42,8 +42,13 @@ namespace harness {
  * parent directory if needed. POSIX O_APPEND makes the seek+write
  * atomic, so two processes appending whole records cannot interleave
  * *within* a record (the torn-line race the caches used to have).
- * Best-effort: returns false on I/O failure (a lost append only loses
- * memoization, never correctness).
+ * The append additionally holds an exclusive flock on a sidecar
+ * lock dotfile (`.<basename>.lock`, invisible to data-file directory
+ * scans), shared with `loadChecksummedRecords`, so a
+ * record can never be appended in the window between that loader's
+ * read pass and its quarantine rewrite (where it would be silently
+ * dropped). Best-effort: returns false on I/O failure (a lost append
+ * only loses memoization, never correctness).
  *
  * This is also the `cache_write` fault-injection site
  * (`fault::maybeInject`), so tests and `bench/resume_smoke` can kill
@@ -62,8 +67,12 @@ bool atomicWriteFile(const std::string &path, std::string_view contents);
 /**
  * One checksummed record line: `key|payload|c<16 hex digits>\n`, the
  * checksum being FNV-1a over `key|payload`. `key` must not contain
- * '|', '\n' or '\r' (cache keys are built escaped — see
- * `workloads::escapeSpecField`); `payload` must not contain '\n'.
+ * '|', '\n', '\r' or NUL (cache keys are built escaped — see
+ * `workloads::escapeSpecField`); `payload` must not contain '\n',
+ * '\r' or NUL. The invariant is enforced unconditionally (not just
+ * in debug builds): a violating key/payload returns an empty string,
+ * so the caller's append degrades to a no-op instead of writing a
+ * line that would quarantine on the next load.
  */
 std::string checksummedRecord(std::string_view key,
                               std::string_view payload);
@@ -96,8 +105,11 @@ struct LoadStats
  * If any corrupt lines were found they are appended to
  * `cacheDir()/quarantine/<basename of path>` (atomicAppend), the file
  * is rewritten without them (atomicWriteFile — the "move" is
- * all-or-nothing), and one summary line is logged to stderr. A
- * missing file is simply zero records.
+ * all-or-nothing), and one summary line is logged to stderr. The
+ * whole read+rewrite runs under the sidecar flock shared with
+ * `atomicAppend`, so records appended by concurrent processes or
+ * threads are never lost to the rewrite. A missing file is simply
+ * zero records.
  */
 LoadStats loadChecksummedRecords(
     const std::string &path, std::string_view version_prefix,

@@ -17,6 +17,7 @@
 #include "harness/result_cache.hh"
 #include "search/searched_bim.hh"
 #include "synth/registry.hh"
+#include "workloads/workload_set.hh"
 
 namespace valley {
 namespace harness {
@@ -93,14 +94,21 @@ gridIdentity(const GridOptions &opts,
 {
     std::ostringstream out;
     out.precision(17);
-    out << opts.config.name << ';' << opts.bimSeed << ';'
-        << opts.scale << ';';
+    // Free-form fields (config name, workloads, the joint-set key —
+    // which is itself escaped but re-escaped here for uniformity)
+    // are percent-escaped so a ';' or ',' inside one of them cannot
+    // make two different grids serialize to the same identity and
+    // share a journal file.
+    out << workloads::escapeSpecField(opts.config.name) << ';'
+        << opts.bimSeed << ';' << opts.scale << ';';
     for (const auto &w : opts.workloads)
-        out << w << ',';
+        out << workloads::escapeSpecField(w) << ',';
     out << ';';
     for (Scheme s : opts.schemes)
         out << schemeName(s) << ',';
-    out << ';' << (joint ? joint->key() : std::string());
+    out << ';'
+        << workloads::escapeSpecField(joint ? joint->key()
+                                            : std::string());
     return out.str();
 }
 

@@ -14,8 +14,10 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "bim/bit_matrix.hh"
 #include "harness/atomic_io.hh"
@@ -275,4 +277,65 @@ TEST_F(CacheRobustnessTest, SbimCacheQuarantinesCorruptLines)
     EXPECT_TRUE(std::filesystem::exists(quarantinePath(path)));
     EXPECT_FALSE(
         search::sbimCacheLookup(v + ";zeros").has_value());
+}
+
+TEST_F(CacheRobustnessTest, ChecksummedRecordRejectsSeparatorBytes)
+{
+    // Enforced unconditionally, not by assert: an NDEBUG build must
+    // not write a record that parses as two lines. Invalid inputs
+    // yield an empty record (the caller's append becomes a no-op).
+    EXPECT_TRUE(harness::checksummedRecord("bad|key", "p").empty());
+    EXPECT_TRUE(harness::checksummedRecord("bad\nkey", "p").empty());
+    EXPECT_TRUE(harness::checksummedRecord("k", "two\nlines").empty());
+    EXPECT_TRUE(harness::checksummedRecord("k", "cr\rhere").empty());
+    EXPECT_TRUE(
+        harness::checksummedRecord("k", std::string("x\0y", 3))
+            .empty());
+    // '|' in the payload is legal (the checksum field is found with
+    // rfind), and a valid record round-trips.
+    const std::string rec =
+        harness::checksummedRecord("k", "pipes|are|fine");
+    ASSERT_FALSE(rec.empty());
+    const auto parsed = harness::parseChecksummedRecord(
+        rec.substr(0, rec.size() - 1)); // strip '\n'
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->first, "k");
+    EXPECT_EQ(parsed->second, "pipes|are|fine");
+}
+
+TEST_F(CacheRobustnessTest, QuarantineRewriteKeepsConcurrentAppends)
+{
+    // Regression: the quarantine path rewrites the whole file; a
+    // record appended between the read pass and the rename used to
+    // be silently discarded. Both sides now hold the sidecar flock,
+    // so every record appended by the writer thread must survive an
+    // arbitrary interleaving of quarantining loads.
+    const std::string path = (dir / "concurrent.csv").string();
+    constexpr int kRecords = 200;
+    std::thread writer([&path] {
+        for (int i = 0; i < kRecords; ++i)
+            harness::atomicAppend(
+                path, harness::checksummedRecord(
+                          "vT;k" + std::to_string(i), "p"));
+    });
+    const auto countKeys = [&path] {
+        std::set<std::string> keys;
+        harness::loadChecksummedRecords(
+            path, "vT",
+            [&keys](const std::string &k, const std::string &p) {
+                if (p != "p")
+                    return false;
+                keys.insert(k);
+                return true;
+            });
+        return keys.size();
+    };
+    for (int i = 0; i < 20; ++i) {
+        // A fresh corrupt line forces every load down the
+        // quarantine-rewrite path while the writer is appending.
+        harness::atomicAppend(path, "vT;c|x|c0000000000000000\n");
+        countKeys();
+    }
+    writer.join();
+    EXPECT_EQ(countKeys(), static_cast<std::size_t>(kRecords));
 }

@@ -54,6 +54,32 @@ TEST(ThreadPool, ReusableAcrossRounds)
     }
 }
 
+TEST(ThreadPool, BackToBackRoundsDoNotRace)
+{
+    // Regression: submit() used to publish tasks into the worker
+    // deques immediately, so a worker still scanning after finishing
+    // the previous round's last task could claim a next-round task
+    // before run() initialized the counters — underflowing the
+    // unsigned `unclaimed`/`pending` and hanging the pool. Tiny
+    // rounds submitted back-to-back (the profiler's two-round
+    // pattern) maximize that window; with the fix (staged tasks +
+    // ticketed claims) this must neither hang nor drop/duplicate a
+    // task.
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    int expected = 0;
+    for (int round = 0; round < 2000; ++round) {
+        const int tasks = 1 + round % 3;
+        for (int i = 0; i < tasks; ++i)
+            pool.submit([&count] {
+                count.fetch_add(1, std::memory_order_relaxed);
+            });
+        expected += tasks;
+        pool.run();
+    }
+    EXPECT_EQ(count.load(), expected);
+}
+
 TEST(ThreadPool, EmptyRunReturnsImmediately)
 {
     ThreadPool pool(3);
