@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Supervise smoke — the end-to-end drill of the self-healing
+ * execution stack, run by CI next to `resume_smoke`. Four legs, all
+ * driving the real `valley_grid` binary as a child process:
+ *
+ *  1. *reference*: the grid runs clean (exit 0, zero restarts) and
+ *     writes its per-cell `--out` file;
+ *  2. *kill mode*: `VALLEY_FAULT_INJECT=grid_cell:2:kill` hard-exits
+ *     the child at the 2nd fresh cell of every incarnation; the
+ *     supervisor must restart it until the checkpoint journal
+ *     carries it past the injection point, and the converged `--out`
+ *     file must be byte-identical to the reference (serial grid —
+ *     each incarnation retires one new cell before the recurring hit
+ *     count reaches the trigger);
+ *  3. *throw mode, retry*: a one-shot in-process throw with
+ *     `--max-attempts 2` must heal invisibly — exit 0, no restarts,
+ *     byte-identical output;
+ *  4. *throw mode, poison*: a deterministically failing cell with
+ *     `--poison` must quarantine — NOT crash, NOT restart: exit 4
+ *     (degraded), zero restarts, and `cache/grid_report_<id>.json`
+ *     names exactly that cell as poisoned.
+ *
+ * Everything lands in BENCH_supervise.json; exit status is non-zero
+ * on any unexpected exit code, any supervisor exhaustion, an output
+ * mismatch, or a report that misnames the poisoned cell.
+ */
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "harness/result_cache.hh"
+#include "harness/supervisor.hh"
+
+using namespace valley;
+
+namespace {
+
+/** The valley_grid binary next to our own executable. */
+std::string
+gridBinary()
+{
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf,
+                                 sizeof buf - 1);
+    if (n <= 0)
+        return "./valley_grid";
+    buf[n] = '\0';
+    return (std::filesystem::path(buf).parent_path() / "valley_grid")
+        .string();
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** Drop every grid journal so the next leg starts from scratch. */
+void
+wipeJournals()
+{
+    const std::string dir = harness::cacheDir();
+    if (!std::filesystem::exists(dir))
+        return;
+    for (const auto &e : std::filesystem::directory_iterator(dir))
+        if (e.path().filename().string().rfind("grid_journal_", 0) ==
+            0)
+            std::filesystem::remove(e.path());
+}
+
+/** Supervise one valley_grid invocation (backoff off, chatty). */
+harness::SuperviseOutcome
+runLeg(const char *label, const std::vector<std::string> &args,
+       const char *fault, unsigned max_restarts)
+{
+    std::printf("\n[%s] %s\n", label,
+                fault != nullptr ? fault : "(no fault)");
+    if (fault != nullptr)
+        setenv("VALLEY_FAULT_INJECT", fault, 1);
+    else
+        unsetenv("VALLEY_FAULT_INJECT");
+
+    std::vector<std::string> argv;
+    argv.push_back(gridBinary());
+    argv.insert(argv.end(), args.begin(), args.end());
+
+    harness::SupervisorOptions opts;
+    opts.maxRestarts = max_restarts;
+    opts.backoffMs = 0;
+    const harness::SuperviseOutcome out =
+        harness::supervise(argv, opts);
+    unsetenv("VALLEY_FAULT_INJECT");
+    std::printf("[%s] exit %d after %u restart(s)%s\n", label,
+                out.exitCode, out.restarts,
+                out.exhausted ? " (EXHAUSTED)" : "");
+    return out;
+}
+
+/** The grid_report naming `workload`/`scheme` poisoned, if any. */
+bool
+reportNamesPoisonedCell(const std::string &workload,
+                        const std::string &scheme)
+{
+    const std::string needle = "{\"workload\": \"" + workload +
+                               "\", \"scheme\": \"" + scheme +
+                               "\", \"status\": \"poisoned\"";
+    const std::string dir = harness::cacheDir();
+    if (!std::filesystem::exists(dir))
+        return false;
+    for (const auto &e : std::filesystem::directory_iterator(dir)) {
+        const std::string name = e.path().filename().string();
+        if (name.rfind("grid_report_", 0) != 0)
+            continue;
+        const std::string json = readFile(e.path().string());
+        if (json.find("\"poisoned\": 1") != std::string::npos &&
+            json.find(needle) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader("Supervise smoke",
+                       "crash-restart supervisor converges; "
+                       "deterministic failures poison, not crash");
+
+    const double scale = bench::envScale(0.25);
+    std::ostringstream scale_str;
+    scale_str.precision(17);
+    scale_str << scale;
+
+    // Serial on purpose: the kill drill only converges when each
+    // incarnation finishes at least one new cell before the recurring
+    // `grid_cell` hit count reaches the injection point (see
+    // DESIGN.md, "Supervision & degradation").
+    const std::vector<std::string> base_args = {
+        "--workloads", "synth:strided,synth:stencil3d",
+        "--schemes",   "BASE,PM",
+        "--scale",     scale_str.str(),
+        "--threads",   "1",
+    };
+    const auto with = [&](std::initializer_list<const char *> extra) {
+        std::vector<std::string> v = base_args;
+        for (const char *e : extra)
+            v.push_back(e);
+        return v;
+    };
+
+    bench::JsonEmitter json("BENCH_supervise.json");
+    json.field("scale", scale);
+    json.field("cells", static_cast<std::uint64_t>(4));
+
+    // Leg 1: fault-free reference.
+    wipeJournals();
+    const auto ref = runLeg("reference",
+                            with({"--out", "BENCH_supervise_ref.txt"}),
+                            nullptr, 0);
+    const std::string ref_out = readFile("BENCH_supervise_ref.txt");
+    const bool ref_ok = ref.exitCode == 0 && ref.restarts == 0 &&
+                        !ref.exhausted && !ref_out.empty();
+    json.field("reference_exit", static_cast<std::uint64_t>(ref.exitCode));
+    json.field("reference_ok", ref_ok);
+
+    // Leg 2: kill mode under supervision, bit-identical convergence.
+    wipeJournals();
+    const auto kill = runLeg(
+        "kill",
+        with({"--checkpoint", "--report", "--out",
+              "BENCH_supervise_kill.txt"}),
+        "grid_cell:2:kill", /*max_restarts=*/8);
+    const bool kill_identical =
+        !ref_out.empty() &&
+        readFile("BENCH_supervise_kill.txt") == ref_out;
+    const bool kill_ok = kill.exitCode == 0 && !kill.exhausted &&
+                         kill.restarts > 0 && kill_identical;
+    json.field("kill_exit", static_cast<std::uint64_t>(kill.exitCode));
+    json.field("kill_restarts", kill.restarts);
+    json.field("kill_exhausted", kill.exhausted);
+    json.field("kill_bit_identical", kill_identical);
+
+    // Leg 3: one-shot throw heals in-process via retry — the
+    // supervisor never even notices.
+    wipeJournals();
+    const auto retry = runLeg(
+        "retry",
+        with({"--max-attempts", "2", "--out",
+              "BENCH_supervise_retry.txt"}),
+        "grid_cell:2:throw", /*max_restarts=*/2);
+    const bool retry_identical =
+        !ref_out.empty() &&
+        readFile("BENCH_supervise_retry.txt") == ref_out;
+    const bool retry_ok = retry.exitCode == 0 &&
+                          retry.restarts == 0 && !retry.exhausted &&
+                          retry_identical;
+    json.field("retry_exit", static_cast<std::uint64_t>(retry.exitCode));
+    json.field("retry_restarts", retry.restarts);
+    json.field("retry_bit_identical", retry_identical);
+
+    // Leg 4: a deterministically failing cell must POISON the grid —
+    // degraded final exit, no restart burned — and the report must
+    // name exactly that cell (2nd in grid order: synth:strided/PM).
+    // Distinct scheme axis => distinct grid id => its own report.
+    const auto poison = runLeg(
+        "poison",
+        {"--workloads", "synth:strided,synth:stencil3d", "--schemes",
+         "BASE,PM,RMP", "--scale", scale_str.str(), "--threads", "1",
+         "--checkpoint", "--poison", "--report"},
+        "grid_cell:2:throw", /*max_restarts=*/2);
+    const bool poison_named =
+        reportNamesPoisonedCell("synth:strided", "PM");
+    const bool poison_ok = poison.exitCode == 4 &&
+                           poison.restarts == 0 &&
+                           !poison.exhausted && poison_named;
+    json.field("poison_exit", static_cast<std::uint64_t>(poison.exitCode));
+    json.field("poison_restarts", poison.restarts);
+    json.field("poison_report_names_cell", poison_named);
+
+    const bool ok = ref_ok && kill_ok && retry_ok && poison_ok;
+    json.field("ok", ok);
+    std::printf("\nsupervise smoke: %s (kill restarts %u, poison "
+                "exit %d)\n",
+                ok ? "all legs green" : "FAILED", kill.restarts,
+                poison.exitCode);
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,21 @@
+#include "common/cancellation.hh"
+
+#include <cstdlib>
+#include <string>
+
+namespace valley {
+
+std::optional<std::chrono::milliseconds>
+CancelToken::envDeadlineMs()
+{
+    const char *env = std::getenv("VALLEY_DEADLINE_MS");
+    if (env == nullptr || *env == '\0')
+        return std::nullopt;
+    char *end = nullptr;
+    const unsigned long long ms = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0' || ms == 0)
+        return std::nullopt;
+    return std::chrono::milliseconds(static_cast<std::int64_t>(ms));
+}
+
+} // namespace valley

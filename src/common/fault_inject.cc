@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <vector>
 
 namespace valley {
 namespace fault {
@@ -23,7 +24,8 @@ enum class Mode
 struct Spec
 {
     std::string site;
-    std::uint64_t n = 0; // 1-based trigger hit
+    std::uint64_t n = 0;     // 1-based trigger hit
+    std::uint64_t every = 0; // 0 = fire once; K = re-fire each K hits
     Mode mode = Mode::Throw;
 };
 
@@ -34,31 +36,49 @@ std::atomic<std::uint64_t> hits{0};
 Spec
 parseSpec(const std::string &s)
 {
-    Spec out;
-    const auto first = s.find(':');
-    if (first == std::string::npos || first == 0)
+    // Tokenize on ':' — grammar <site>:<n>[:throw|:kill][:every=K],
+    // the two optional suffixes accepted in either order.
+    std::vector<std::string> tok;
+    std::size_t start = 0;
+    for (;;) {
+        const auto sep = s.find(':', start);
+        tok.push_back(s.substr(start, sep == std::string::npos
+                                          ? std::string::npos
+                                          : sep - start));
+        if (sep == std::string::npos)
+            break;
+        start = sep + 1;
+    }
+    if (tok.size() < 2 || tok[0].empty())
         throw std::invalid_argument(
-            "fault spec must be <site>:<n>[:throw|:kill]: " + s);
-    out.site = s.substr(0, first);
-    const auto second = s.find(':', first + 1);
-    const std::string count =
-        s.substr(first + 1, second == std::string::npos
-                                ? std::string::npos
-                                : second - first - 1);
+            "fault spec must be <site>:<n>[:throw|:kill][:every=K]: " +
+            s);
+    Spec out;
+    out.site = tok[0];
     char *end = nullptr;
-    out.n = std::strtoull(count.c_str(), &end, 10);
-    if (count.empty() || (end && *end) || out.n == 0)
+    out.n = std::strtoull(tok[1].c_str(), &end, 10);
+    if (tok[1].empty() || (end && *end) || out.n == 0)
         throw std::invalid_argument(
             "fault spec needs a positive hit count: " + s);
-    if (second != std::string::npos) {
-        const std::string mode = s.substr(second + 1);
-        if (mode == "throw")
+    for (std::size_t i = 2; i < tok.size(); ++i) {
+        const std::string &t = tok[i];
+        if (t == "throw") {
             out.mode = Mode::Throw;
-        else if (mode == "kill")
+        } else if (t == "kill") {
             out.mode = Mode::Kill;
-        else
+        } else if (t.rfind("every=", 0) == 0) {
+            const std::string k = t.substr(6);
+            end = nullptr;
+            out.every = std::strtoull(k.c_str(), &end, 10);
+            if (k.empty() || (end && *end) || out.every == 0)
+                throw std::invalid_argument(
+                    "fault every= needs a positive period: " + s);
+        } else {
             throw std::invalid_argument(
-                "fault mode must be throw or kill: " + s);
+                "fault spec option must be throw, kill, or "
+                "every=K: " +
+                s);
+        }
     }
     return out;
 }
@@ -94,7 +114,13 @@ hit(const char *site)
         return;
     const std::uint64_t count =
         hits.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (count != s.n)
+    // Single-shot fires at exactly hit n; :every=K keeps re-firing
+    // every K hits from there (soak mode — exercises the retry and
+    // poison paths repeatedly within one run).
+    const bool fire =
+        count == s.n ||
+        (s.every != 0 && count > s.n && (count - s.n) % s.every == 0);
+    if (!fire)
         return;
     if (s.mode == Mode::Kill) {
         std::fprintf(stderr,
@@ -128,6 +154,12 @@ configure(const std::string &spec_string)
         hits.store(0, std::memory_order_relaxed);
     }
     armed.store(true, std::memory_order_relaxed);
+}
+
+void
+reset()
+{
+    detail::hits.store(0, std::memory_order_relaxed);
 }
 
 std::uint64_t

@@ -2,23 +2,36 @@
  * @file
  * Deterministic fault injection for resilience tests.
  *
- * `VALLEY_FAULT_INJECT=<site>:<n>[:throw|:kill]` arms exactly one
- * fault: the Nth (1-based) hit of the named site either throws
- * `fault::Injected` (default — catchable, used by in-process tests
- * and `bench/resume_smoke`) or kills the process with `_Exit(42)`
- * after flushing stdio (used by the CI interrupted-grid step, where
- * the crash must look like a real SIGKILL-grade loss of the process,
- * not a graceful unwind).
+ * `VALLEY_FAULT_INJECT=<site>:<n>[:throw|:kill][:every=K]` arms
+ * exactly one fault: the Nth (1-based) hit of the named site either
+ * throws `fault::Injected` (default — catchable, used by in-process
+ * tests and `bench/resume_smoke`) or kills the process with
+ * `_Exit(42)` after flushing stdio (used by the CI interrupted-grid
+ * step, where the crash must look like a real SIGKILL-grade loss of
+ * the process, not a graceful unwind). With `:every=K` the fault
+ * *recurs*: after the first firing at hit N it fires again every K
+ * further hits — the soak mode that drives the retry/poison paths
+ * repeatedly within a single run (`bench/supervise_smoke`).
  *
  * Sites are plain string literals at the instrumented points:
  *
- *  - `grid_cell`   — start of one grid cell's simulation
- *                    (`harness::runGrid`); resumed cells do not count,
- *                    so a rerun with the same spec passes the site
- *                    that killed the first run.
+ *  - `grid_cell`   — start of one grid cell simulation *attempt*
+ *                    (`harness::runGrid`); each retry of a failing
+ *                    cell counts as a new hit, and resumed cells do
+ *                    not count, so a rerun with the same spec passes
+ *                    the site that killed the first run.
  *  - `cache_write` — one persisted record (`harness::atomicAppend`):
  *                    every result/profile/SBIM-cache store and every
  *                    journal record.
+ *  - `search_step` — one simulated-annealing move of a `BimSearch`
+ *                    chain (anneal and polish phases; with parallel
+ *                    restarts the hit order across chains is
+ *                    scheduling-dependent — arm with threads=1 for
+ *                    full determinism).
+ *  - `journal_append` — one grid-journal record about to be persisted
+ *                    (`GridJournal::record`/`recordPoisoned`), before
+ *                    the underlying `cache_write` site; kills here
+ *                    exercise the crash-consistency invariants.
  *
  * Off is the default and costs one relaxed atomic load per site hit —
  * no env lookup, no branch on the spec. Determinism: the trigger
@@ -71,6 +84,14 @@ maybeInject(const char *site)
  * `std::invalid_argument` on a malformed spec.
  */
 void configure(const std::string &spec);
+
+/**
+ * Zero the hit counter without touching the armed spec: the in-process
+ * re-arm for tests that drive the same fault through several phases
+ * (e.g. poison a cell, then verify the resumed grid would poison it
+ * again) deterministically, without re-parsing a spec string.
+ */
+void reset();
 
 /** Hits recorded so far against the armed site (0 when disarmed). */
 std::uint64_t hitCount();

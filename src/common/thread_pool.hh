@@ -46,6 +46,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancellation.hh"
+
 namespace valley {
 
 class ThreadPool
@@ -107,9 +109,18 @@ class ThreadPool
      * Execute all queued tasks and block until every one finished.
      * The first exception thrown by any task is rethrown here (the
      * remaining tasks still run to completion).
+     *
+     * When `cancel` is non-null and fires mid-round, workers stop
+     * *starting* tasks: each remaining task is claimed and retired
+     * without executing (already-running tasks finish normally, so
+     * caller-owned result slots are never torn). Callers passing a
+     * token must therefore tolerate unexecuted tasks — the grid
+     * marks them deadline-missed, and BimSearch does not use
+     * pool-level skip at all (its chains self-terminate and always
+     * score a valid incumbent). `cancel` must outlive the call.
      */
     void
-    run()
+    run(const CancelToken *cancel = nullptr)
     {
         std::unique_lock<std::mutex> lock(mutex);
         if (staged.empty())
@@ -127,12 +138,17 @@ class ThreadPool
             d.tasks.push_back(std::move(staged[i]));
         }
         staged.clear();
+        // Published by the release store of `unclaimed` below; read
+        // by workers only after their acquire CAS on a ticket, so no
+        // worker of THIS round can observe the previous round's token.
+        roundCancel.store(cancel, std::memory_order_relaxed);
         pending.store(count, std::memory_order_relaxed);
         unclaimed.store(count, std::memory_order_release);
         wake.notify_all();
         done.wait(lock, [this] {
             return pending.load(std::memory_order_acquire) == 0;
         });
+        roundCancel.store(nullptr, std::memory_order_relaxed);
         if (firstError) {
             std::exception_ptr e = firstError;
             firstError = nullptr;
@@ -230,9 +246,15 @@ class ThreadPool
             lock.unlock();
             std::function<void()> task;
             while (claimTask(self, task)) {
+                const CancelToken *cancel =
+                    roundCancel.load(std::memory_order_relaxed);
                 std::exception_ptr err;
                 try {
-                    task();
+                    // A fired token drains the round without running
+                    // the remaining tasks (they still retire through
+                    // `pending` below, so run() wakes normally).
+                    if (cancel == nullptr || !cancel->cancelled())
+                        task();
                 } catch (...) {
                     err = std::current_exception();
                 }
@@ -265,6 +287,8 @@ class ThreadPool
     std::vector<std::function<void()>> staged;
     std::atomic<std::size_t> pending{0};   ///< not yet finished
     std::atomic<std::size_t> unclaimed{0}; ///< not yet claimed
+    /// Current round's cancellation token (null = not cancellable).
+    std::atomic<const CancelToken *> roundCancel{nullptr};
     std::atomic<std::uint64_t> steals{0};
     std::mutex mutex;
     std::condition_variable wake;

@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <sys/file.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -40,6 +41,17 @@ hex16(std::uint64_t v)
     return buf;
 }
 
+/** Sidecar lock-file path for a data file: `.<basename>.lock`. */
+std::string
+lockPathFor(const std::string &path)
+{
+    const std::filesystem::path p(path);
+    std::string lockName(".");
+    lockName += p.filename().string();
+    lockName += ".lock";
+    return (p.parent_path() / lockName).string();
+}
+
 /**
  * RAII exclusive flock on a sidecar `<path>.lock` file. The lock
  * lives on a file that is never renamed: `atomicWriteFile` replaces
@@ -56,6 +68,22 @@ hex16(std::uint64_t v)
  * The lock file is a *dotfile* (`.<basename>.lock`) so directory
  * scans for data files (e.g. the journal's `grid_journal_*` glob)
  * never pick it up as an empty data file.
+ *
+ * Acquisition verifies the locked inode: `cleanStaleLock` may unlink
+ * the lock file between our open(2) and flock(2), in which case we
+ * hold an exclusive lock on an orphaned inode that excludes nobody —
+ * a second opener would create (and lock) a fresh file at the same
+ * path. On an fstat/stat identity mismatch we drop the orphan and
+ * retry *unconditionally*: a mismatch can only happen because some
+ * other actor unlinked the path after our open(2), so every retry is
+ * preceded by system-wide progress and the loop terminates as soon
+ * as sweeping stops. A bounded retry budget here is a correctness
+ * hole, not a safety valve — a blocked acquirer synchronizes with
+ * the unlinking loader via the flock itself, so under load it can
+ * lose the open-vs-unlink race on *every* sweep, exhaust any fixed
+ * budget, and silently proceed unlocked into a quarantine rewrite
+ * that then discards its append. Only hard open/flock errors degrade
+ * to the unlocked best-effort path.
  */
 class FileLock
 {
@@ -63,15 +91,26 @@ class FileLock
     explicit FileLock(const std::string &path)
     {
         ensureParentDir(path);
-        const std::filesystem::path p(path);
-        std::string lockName(".");
-        lockName += p.filename().string();
-        lockName += ".lock";
-        const std::filesystem::path lockPath =
-            p.parent_path() / lockName;
-        fd = ::open(lockPath.c_str(), O_WRONLY | O_CREAT, 0644);
-        if (fd >= 0)
-            ::flock(fd, LOCK_EX);
+        const std::string lockPath = lockPathFor(path);
+        for (;;) {
+            fd = ::open(lockPath.c_str(), O_WRONLY | O_CREAT, 0644);
+            if (fd < 0)
+                return; // proceed unlocked (best-effort)
+            if (::flock(fd, LOCK_EX) != 0) {
+                ::close(fd);
+                fd = -1;
+                return;
+            }
+            struct stat fd_st, path_st;
+            if (::fstat(fd, &fd_st) == 0 &&
+                ::stat(lockPath.c_str(), &path_st) == 0 &&
+                fd_st.st_ino == path_st.st_ino &&
+                fd_st.st_dev == path_st.st_dev)
+                return; // locked the live lock file
+            ::flock(fd, LOCK_UN);
+            ::close(fd);
+            fd = -1;
+        }
     }
 
     ~FileLock()
@@ -90,6 +129,44 @@ class FileLock
 };
 
 } // namespace
+
+bool
+cleanStaleLock(const std::string &path)
+{
+    const std::string lockPath = lockPathFor(path);
+    const int fd = ::open(lockPath.c_str(), O_WRONLY, 0644);
+    if (fd < 0)
+        return false; // no sidecar — nothing stale
+    // Non-blocking probe: a *live* holder (flock held by a running
+    // process) makes this fail with EWOULDBLOCK and we leave the file
+    // alone. Success means the previous holder is gone — flock(2) is
+    // released by the kernel on process death, so a sidecar we can
+    // lock instantly is a leftover, not a guard.
+    if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+        ::close(fd);
+        return false;
+    }
+    // The probe fd must still be the path's inode before we unlink:
+    // if another sweep already removed it and a FileLock recreated
+    // the sidecar, our lock is on the orphan and unlink(2) by path
+    // would strip a *live* holder's lock file out from under it.
+    struct stat fd_st, path_st;
+    if (::fstat(fd, &fd_st) != 0 ||
+        ::stat(lockPath.c_str(), &path_st) != 0 ||
+        fd_st.st_ino != path_st.st_ino ||
+        fd_st.st_dev != path_st.st_dev) {
+        ::flock(fd, LOCK_UN);
+        ::close(fd);
+        return false;
+    }
+    // Unlink while still holding the lock: a concurrent FileLock that
+    // raced us onto this inode sees the fstat/stat mismatch and
+    // retries on a fresh file.
+    const bool removed = ::unlink(lockPath.c_str()) == 0;
+    ::flock(fd, LOCK_UN);
+    ::close(fd);
+    return removed;
+}
 
 bool
 atomicAppend(const std::string &path, std::string_view data)
@@ -226,6 +303,9 @@ loadChecksummedRecords(
                              const std::string &payload)> &accept)
 {
     LoadStats stats;
+    // Cache-open is the natural sweep point for sidecars orphaned by
+    // a killed writer: probe-and-remove before (re)creating our own.
+    cleanStaleLock(path);
     // Exclusive lock across the whole read (+ possible quarantine
     // rewrite below): a record appended between our read pass and
     // the rename would otherwise be silently discarded by the

@@ -123,6 +123,20 @@ LoadStats loadChecksummedRecords(
  */
 std::uint64_t quarantinedLineCount();
 
+/**
+ * Remove the `.<basename>.lock` sidecar of `path` if it is *stale* —
+ * present but not flock-held by any live process (the kernel drops
+ * flocks on process death, so a kill can leave the dotfile behind but
+ * never a held lock). Detection is a non-blocking flock probe: a live
+ * holder leaves the file untouched. `loadChecksummedRecords` calls
+ * this at every cache open; it is exposed for tests and tools.
+ * Returns true if a stale sidecar was removed. Safe against
+ * concurrent lockers: the unlink happens while holding the probe
+ * lock, and `FileLock` acquisition verifies the locked inode is still
+ * the one on disk (retrying otherwise).
+ */
+bool cleanStaleLock(const std::string &path);
+
 } // namespace harness
 } // namespace valley
 

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "common/fault_inject.hh"
 #include "common/stats.hh"
@@ -171,8 +173,10 @@ runOneCached(const SimConfig &config, Scheme scheme,
     return r;
 }
 
-Grid::Grid(GridOptions opts_, std::vector<std::vector<RunResult>> res)
-    : opts(std::move(opts_)), results(std::move(res))
+Grid::Grid(GridOptions opts_, std::vector<std::vector<RunResult>> res,
+           GridReport report)
+    : opts(std::move(opts_)), results(std::move(res)),
+      report_(std::move(report))
 {
 }
 
@@ -325,39 +329,66 @@ runGrid(GridOptions opts)
         return *gbim_mapper;
     };
 
-    // Checkpoint journal: load once up front (the map is then
+    // Checkpoint journal: load once up front (the maps are then
     // read-only, so parallel cells need no lock), append one record
     // per finished cell. Resume = skip every journaled cell with its
     // recorded result — bit-identical because the journal round-trips
-    // doubles exactly.
+    // doubles exactly. Poisoned cells are skipped with their recorded
+    // reason instead of being re-simulated.
     const bool checkpoint = checkpointEnabled(opts);
+    const std::string identity = gridIdentity(opts, joint.get());
     std::unique_ptr<GridJournal> journal;
-    std::map<std::string, RunResult> done_cells;
+    JournalContents done_cells;
     if (checkpoint) {
         journal = std::make_unique<GridJournal>(
-            GridJournal::pathFor(gridIdentity(opts, joint.get())));
-        done_cells = journal->load();
+            GridJournal::pathFor(identity));
+        done_cells = journal->loadAll();
     }
 
+    // The grid's cancellation scope: a child of the caller's token
+    // (so external SIGINT/service cancellation propagates) carrying
+    // this grid's own wall-clock deadline, when one is configured.
+    // Checked at cell boundaries only — a started cell always runs
+    // to completion, keeping journaled results deterministic.
+    CancelToken token =
+        opts.cancel ? opts.cancel->child() : CancelToken();
+    std::uint64_t deadline_ms = opts.deadlineMs;
+    if (deadline_ms == 0) {
+        if (const auto env = CancelToken::envDeadlineMs())
+            deadline_ms = static_cast<std::uint64_t>(env->count());
+    }
+    if (deadline_ms != 0)
+        token.setDeadline(Deadline::after(
+            std::chrono::milliseconds(deadline_ms)));
+
+    const unsigned max_attempts = std::max(1u, opts.maxAttempts);
     const std::size_t cells =
         opts.workloads.size() * opts.schemes.size();
     std::atomic<std::size_t> cells_done{0};
     std::atomic<std::size_t> cells_resumed{0};
 
+    // Per-cell outcome slots for the report: like `results`, each
+    // cell writes only its own entry, so no lock is needed.
+    std::vector<CellStatus> status(cells, CellStatus::NotRun);
+    std::vector<unsigned> attempts_used(cells, 0);
+    std::vector<std::string> fail_reason(cells);
+
     const auto runCell = [&](std::size_t wi, std::size_t si) {
         const std::string &w = opts.workloads[wi];
         const Scheme s = opts.schemes[si];
+        const std::size_t idx = wi * opts.schemes.size() + si;
         const std::string key =
             (checkpoint || opts.useCache)
                 ? cellCacheKey(opts.config, s, w, opts.bimSeed,
                                opts.scale, joint.get())
                 : std::string();
         if (checkpoint) {
-            const auto it = done_cells.find(key);
-            if (it != done_cells.end()) {
+            const auto it = done_cells.cells.find(key);
+            if (it != done_cells.cells.end()) {
                 RunResult r = it->second;
                 r.config = opts.config.name;
                 results[wi][si] = std::move(r);
+                status[idx] = CellStatus::Resumed;
                 cells_resumed.fetch_add(1,
                                         std::memory_order_relaxed);
                 const std::size_t d = cells_done.fetch_add(1) + 1;
@@ -369,43 +400,110 @@ runGrid(GridOptions opts)
                                  cells);
                 return;
             }
+            const auto pit = done_cells.poisoned.find(key);
+            if (pit != done_cells.poisoned.end()) {
+                // Quarantined by an earlier run: one pathological
+                // cell costs one skip per sweep, not a fresh crash.
+                status[idx] = CellStatus::Poisoned;
+                fail_reason[idx] = pit->second;
+                cells_done.fetch_add(1);
+                if (opts.progress)
+                    std::fprintf(stderr,
+                                 "[grid] %-6s %-5s skipped: poisoned "
+                                 "by earlier run (%s)\n",
+                                 w.c_str(), schemeName(s).c_str(),
+                                 pit->second.c_str());
+                return;
+            }
         }
-        // Fault-injection site: counts only cells actually simulated,
-        // so a resumed run with the same VALLEY_FAULT_INJECT spec dies
-        // N *new* cells further in, not at the same spot forever.
-        fault::maybeInject("grid_cell");
+        if (token.cancelled()) {
+            // Deadline/cancellation fired before this cell started:
+            // leave it NotRun (classified DeadlineMissed below) so
+            // the journal never records a rushed or partial result.
+            return;
+        }
         if (opts.progress)
             std::fprintf(stderr, "[grid] %-6s %-5s %s...\n", w.c_str(),
                          schemeName(s).c_str(),
                          opts.config.name.c_str());
-        if (s == Scheme::GBIM && joint) {
-            // GBIM cells simulate under the one shared matrix; the
-            // result cache still short-circuits repeat grids (and,
-            // on a full hit, the search never runs at all).
-            bool hit_cache = false;
-            if (opts.useCache) {
-                if (auto hit = cacheLookup(key)) {
-                    hit->config = opts.config.name;
-                    results[wi][si] = *hit;
-                    hit_cache = true;
+        for (unsigned attempt = 1;; ++attempt) {
+            attempts_used[idx] = attempt;
+            try {
+                // Fault-injection site: counts per simulation
+                // *attempt* and skips resumed cells, so a resumed run
+                // with the same VALLEY_FAULT_INJECT spec dies N *new*
+                // attempts further in, not at the same spot forever.
+                fault::maybeInject("grid_cell");
+                if (s == Scheme::GBIM && joint) {
+                    // GBIM cells simulate under the one shared
+                    // matrix; the result cache still short-circuits
+                    // repeat grids (and, on a full hit, the search
+                    // never runs at all).
+                    bool hit_cache = false;
+                    if (opts.useCache) {
+                        if (auto hit = cacheLookup(key)) {
+                            hit->config = opts.config.name;
+                            results[wi][si] = *hit;
+                            hit_cache = true;
+                        }
+                    }
+                    if (!hit_cache) {
+                        results[wi][si] = simulateCell(
+                            opts.config, sharedGbim(), w, opts.scale);
+                        if (opts.useCache)
+                            cacheStore(key, results[wi][si]);
+                    }
+                } else {
+                    results[wi][si] =
+                        opts.useCache
+                            ? runOneCached(opts.config, s, w,
+                                           opts.scale, opts.bimSeed,
+                                           joint.get())
+                            : runOne(opts.config, s, w, opts.scale,
+                                     opts.bimSeed, joint.get());
                 }
+                if (checkpoint)
+                    journal->record(key, results[wi][si]);
+                status[idx] = attempt > 1 ? CellStatus::Retried
+                                          : CellStatus::Ok;
+                break;
+            } catch (const std::exception &e) {
+                if (attempt < max_attempts && !token.cancelled()) {
+                    // Deterministic exponential backoff: delays only,
+                    // never feeds into any computed result.
+                    if (opts.retryBackoffMs != 0)
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(
+                                static_cast<std::uint64_t>(
+                                    opts.retryBackoffMs)
+                                << (attempt - 1)));
+                    if (opts.progress)
+                        std::fprintf(stderr,
+                                     "[grid] %-6s %-5s attempt %u "
+                                     "failed (%s), retrying\n",
+                                     w.c_str(), schemeName(s).c_str(),
+                                     attempt, e.what());
+                    continue;
+                }
+                if (!opts.poison)
+                    throw; // historical contract: first failure aborts
+                // Crash-consistency invariant 5: quarantine the cell
+                // in the journal BEFORE surfacing the failure, so a
+                // kill right here cannot lose the decision and make
+                // the next run crash on the same cell again.
+                if (checkpoint)
+                    journal->recordPoisoned(key, e.what());
+                status[idx] = CellStatus::Poisoned;
+                fail_reason[idx] = e.what();
+                if (opts.progress)
+                    std::fprintf(stderr,
+                                 "[grid] %-6s %-5s poisoned after %u "
+                                 "attempt(s): %s\n",
+                                 w.c_str(), schemeName(s).c_str(),
+                                 attempt, e.what());
+                break;
             }
-            if (!hit_cache) {
-                results[wi][si] = simulateCell(
-                    opts.config, sharedGbim(), w, opts.scale);
-                if (opts.useCache)
-                    cacheStore(key, results[wi][si]);
-            }
-        } else {
-            results[wi][si] =
-                opts.useCache
-                    ? runOneCached(opts.config, s, w, opts.scale,
-                                   opts.bimSeed, joint.get())
-                    : runOne(opts.config, s, w, opts.scale,
-                             opts.bimSeed, joint.get());
         }
-        if (checkpoint)
-            journal->record(key, results[wi][si]);
         const std::size_t d = cells_done.fetch_add(1) + 1;
         if (opts.progress)
             std::fprintf(stderr, "[grid] %zu/%zu cells done\n", d,
@@ -427,18 +525,51 @@ runGrid(GridOptions opts)
         for (std::size_t wi = 0; wi < opts.workloads.size(); ++wi)
             for (std::size_t si = 0; si < opts.schemes.size(); ++si)
                 pool.submit([&runCell, wi, si] { runCell(wi, si); });
-        pool.run();
+        // The token lets the pool skip (claim-and-retire) cells that
+        // have not started when the deadline fires; runCell's own
+        // cancelled() check classifies them below.
+        pool.run(&token);
         steals = pool.stealCount();
     }
+
+    // Classify cells the deadline prevented from starting.
+    GridReport report;
+    report.gridId = gridIdHex(identity);
+    report.steals = steals;
+    report.quarantinedLines = quarantinedLineCount();
+    report.deadlineHit = token.cancelled();
+    report.cells.reserve(cells);
+    for (std::size_t wi = 0; wi < opts.workloads.size(); ++wi)
+        for (std::size_t si = 0; si < opts.schemes.size(); ++si) {
+            const std::size_t idx = wi * opts.schemes.size() + si;
+            CellReport c;
+            c.workload = opts.workloads[wi];
+            c.scheme = schemeName(opts.schemes[si]);
+            c.status = status[idx] == CellStatus::NotRun
+                           ? CellStatus::DeadlineMissed
+                           : status[idx];
+            c.attempts = attempts_used[idx];
+            c.reason = fail_reason[idx];
+            report.cells.push_back(std::move(c));
+        }
+    report.finalize();
+    if (opts.report && !report.write())
+        std::fprintf(stderr, "[grid] warning: failed to write %s\n",
+                     GridReport::pathFor(report.gridId).c_str());
+
     if (opts.progress)
         std::fprintf(stderr,
                      "[grid] done: %zu/%zu cells (%zu resumed, "
+                     "%zu retried, %zu poisoned, %zu deadline-missed, "
                      "%llu stolen, %llu cache lines quarantined)\n",
                      cells_done.load(), cells, cells_resumed.load(),
+                     report.retried, report.poisoned,
+                     report.deadlineMissed,
                      static_cast<unsigned long long>(steals),
                      static_cast<unsigned long long>(
                          quarantinedLineCount()));
-    return Grid(std::move(opts), std::move(results));
+    return Grid(std::move(opts), std::move(results),
+                std::move(report));
 }
 
 } // namespace harness

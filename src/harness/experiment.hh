@@ -12,9 +12,11 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.hh"
 #include "gpu/gpu_system.hh"
 #include "gpu/run_result.hh"
 #include "gpu/sim_config.hh"
+#include "harness/grid_report.hh"
 #include "mapping/address_mapper.hh"
 #include "workloads/workload.hh"
 #include "workloads/workload_set.hh"
@@ -66,6 +68,70 @@ struct GridOptions
      * RNGs, so the parallel grid is bit-identical to the serial one.
      */
     unsigned threads = 0;
+
+    /**
+     * Simulation attempts per cell before the cell is given up on
+     * (>= 1; 0 is treated as 1). The default keeps the historical
+     * contract — one attempt, first failure propagates — which the
+     * fault-injection drills (`bench/resume_smoke`) rely on. With
+     * more attempts, a failed attempt is retried after a
+     * deterministic exponential backoff and only the final failure
+     * is surfaced (or quarantined — see `poison`).
+     */
+    unsigned maxAttempts = 1;
+
+    /**
+     * Base of the deterministic exponential retry backoff: attempt k
+     * (1-based) sleeps `retryBackoffMs << (k-1)` milliseconds before
+     * retrying. 0 (default) retries immediately — the right choice
+     * for deterministic in-process faults; nonzero gives transient
+     * environmental faults (ENOSPC, OOM-kill fallout) room to clear.
+     * Backoff only delays; it never changes any computed result.
+     */
+    unsigned retryBackoffMs = 0;
+
+    /**
+     * Quarantine instead of abort: a cell that fails *every* attempt
+     * is journaled as poisoned (when `checkpoint` is on; crash
+     * invariant 5: the mark is written before the failure is
+     * surfaced), recorded in the grid report with its failure
+     * reason, and the grid *continues* — completing with
+     * success-with-degradation (`GridReport::degraded()`) rather
+     * than throwing. Resumed runs skip poisoned cells. Off by
+     * default: the historical behavior (first cell failure aborts
+     * the whole grid) is what the interrupt/resume drills expect.
+     */
+    bool poison = false;
+
+    /**
+     * Write the ranked `cache/grid_report_<id>.json` artifact after
+     * the run (the in-memory `Grid::report()` is populated either
+     * way).
+     */
+    bool report = false;
+
+    /**
+     * Wall-clock budget for the whole grid in milliseconds (0 = the
+     * `VALLEY_DEADLINE_MS` environment value, or unlimited when that
+     * is unset too). When the budget expires the grid stops
+     * *starting* cells — in-flight cells finish and are journaled
+     * normally, remaining cells are reported deadline-missed — and
+     * returns a degraded grid instead of running over. Checkpointed
+     * journals stay bit-exact because a cell is either fully
+     * simulated or not run at all; which cells made the cut is
+     * wall-clock-dependent, so deterministic tests use explicit
+     * `cancel` tokens instead of deadlines.
+     */
+    std::uint64_t deadlineMs = 0;
+
+    /**
+     * Optional external cancellation token (non-owning; must outlive
+     * the call). The grid derives a child token from it, so SIGINT
+     * handlers or embedding services can stop a sweep at the next
+     * cell boundary; the deadline above arms the child and therefore
+     * composes with (never extends) the parent's own deadline.
+     */
+    const CancelToken *cancel = nullptr;
 };
 
 /**
@@ -96,9 +162,18 @@ RunResult runOneCached(const SimConfig &config, Scheme scheme,
 class Grid
 {
   public:
-    Grid(GridOptions opts, std::vector<std::vector<RunResult>> results);
+    Grid(GridOptions opts, std::vector<std::vector<RunResult>> results,
+         GridReport report = {});
 
     const GridOptions &options() const { return opts; }
+
+    /**
+     * Per-cell outcome ranking of the run that produced this grid
+     * (see grid_report.hh). `report().degraded()` means some cells
+     * hold default-constructed results (poisoned or deadline-missed)
+     * and the normalized metrics below must not be trusted.
+     */
+    const GridReport &report() const { return report_; }
 
     const RunResult &at(const std::string &workload, Scheme s) const;
 
@@ -142,6 +217,7 @@ class Grid
 
     GridOptions opts;
     std::vector<std::vector<RunResult>> results; // [workload][scheme]
+    GridReport report_;
 };
 
 /** Run the full grid. */

@@ -2,48 +2,131 @@
 
 #include <cstdio>
 
+#include "common/fault_inject.hh"
 #include "common/fnv.hh"
 #include "harness/atomic_io.hh"
 #include "harness/result_cache.hh"
+#include "workloads/workload_set.hh"
 
 namespace valley {
 namespace harness {
 
+namespace {
+
+/** Payload marker of a poisoned-cell record (see grid_journal.hh). */
+constexpr const char *kPoisonMarker = "!poisoned ";
+
+/**
+ * Invert `workloads::escapeSpecField` for the poison reason: `%XX`
+ * (uppercase hex) back to the byte. Malformed escapes pass through
+ * verbatim — the reason is diagnostic text, never a key.
+ */
 std::string
-GridJournal::pathFor(const std::string &grid_identity)
+percentUnescape(const std::string &s)
+{
+    const auto hexVal = [](char c) -> int {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'A' && c <= 'F')
+            return c - 'A' + 10;
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        return -1;
+    };
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '%' && i + 2 < s.size()) {
+            const int hi = hexVal(s[i + 1]);
+            const int lo = hexVal(s[i + 2]);
+            if (hi >= 0 && lo >= 0) {
+                out.push_back(static_cast<char>(hi * 16 + lo));
+                i += 2;
+                continue;
+            }
+        }
+        out.push_back(s[i]);
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+gridIdHex(const std::string &grid_identity)
 {
     char buf[24];
     std::snprintf(buf, sizeof buf, "%016llx",
                   static_cast<unsigned long long>(
                       bits::fnv1a(grid_identity)));
-    return cacheDir() + "/grid_journal_" + buf + ".csv";
+    return buf;
+}
+
+std::string
+GridJournal::pathFor(const std::string &grid_identity)
+{
+    return cacheDir() + "/grid_journal_" + gridIdHex(grid_identity) +
+           ".csv";
 }
 
 std::map<std::string, RunResult>
 GridJournal::load() const
 {
-    std::map<std::string, RunResult> cells;
+    return loadAll().cells;
+}
+
+JournalContents
+GridJournal::loadAll() const
+{
+    JournalContents out;
     // Cell keys are result-cache keys, so the journal shares the
     // cache's version prefix: a journal written before a schema bump
     // is all-stale and the grid recomputes from scratch.
     loadChecksummedRecords(
         path_, kResultCacheVersion,
-        [&cells](const std::string &key, const std::string &payload) {
+        [&out](const std::string &key, const std::string &payload) {
+            // Poison records carry the marker where a serialized
+            // result would start (a workload abbreviation can never
+            // begin with '!'), so they must be recognized before the
+            // result parse — otherwise they would be quarantined as
+            // corrupt lines.
+            if (payload.rfind(kPoisonMarker, 0) == 0) {
+                out.poisoned[key] = percentUnescape(
+                    payload.substr(std::string(kPoisonMarker).size()));
+                return true;
+            }
             auto r = deserializeResult(payload);
             if (!r)
                 return false;
-            cells[key] = std::move(*r);
+            out.cells[key] = std::move(*r);
             return true;
         });
-    return cells;
+    // Success trumps a stale quarantine: a later run may have
+    // completed a cell an earlier run poisoned.
+    for (const auto &[key, r] : out.cells)
+        out.poisoned.erase(key);
+    return out;
 }
 
 bool
 GridJournal::record(const std::string &cell_key,
                     const RunResult &r) const
 {
+    fault::maybeInject("journal_append");
     return atomicAppend(path_,
                         checksummedRecord(cell_key, serializeResult(r)));
+}
+
+bool
+GridJournal::recordPoisoned(const std::string &cell_key,
+                            const std::string &reason) const
+{
+    fault::maybeInject("journal_append");
+    return atomicAppend(
+        path_,
+        checksummedRecord(cell_key,
+                          std::string(kPoisonMarker) +
+                              workloads::escapeSpecField(reason)));
 }
 
 } // namespace harness

@@ -41,6 +41,27 @@
  * hash of the grid identity (config, workload axis, scheme axis, BIM
  * seed, scale, joint set), so different grids never share a journal
  * and a finished journal simply short-circuits an identical re-run.
+ *
+ * ## Poisoned-cell records
+ *
+ * A second record kind quarantines *cells*, not lines: a cell that
+ * failed every retry attempt (`GridOptions::maxAttempts`, poison mode)
+ * is journaled as
+ *
+ *     <cell key>|!poisoned <percent-escaped reason>|c<16-hex FNV-1a>\n
+ *
+ * — same wire format, same cell key, but a `!poisoned ` payload
+ * marker in place of a serialized result (`serializeResult` payloads
+ * begin with a workload abbreviation, which can never start with
+ * `!`). On resume a poisoned cell is *skipped with its recorded
+ * reason* instead of re-simulated, so one deterministically
+ * pathological scenario costs one cell per sweep, not one crash per
+ * attempt. The reason is percent-escaped (`escapeSpecField`) so an
+ * exception message containing `|` or a newline cannot tear the
+ * record. Crash-consistency invariant 5: the poisoned mark is
+ * appended *before* the final failure is surfaced to the grid, so a
+ * kill immediately after the last failed attempt cannot lose the
+ * quarantine decision.
  */
 
 #ifndef VALLEY_HARNESS_GRID_JOURNAL_HH
@@ -54,6 +75,22 @@
 namespace valley {
 namespace harness {
 
+/**
+ * 16-hex-digit FNV-1a hash of a grid identity string — the shared
+ * naming token of everything filed per-grid under `cacheDir()`
+ * (`grid_journal_<id>.csv`, `grid_report_<id>.json`).
+ */
+std::string gridIdHex(const std::string &grid_identity);
+
+/** Everything a journal knows about one grid's past runs. */
+struct JournalContents
+{
+    /** Finished cells: cell key -> bit-exact recorded result. */
+    std::map<std::string, RunResult> cells;
+    /** Quarantined cells: cell key -> unescaped failure reason. */
+    std::map<std::string, std::string> poisoned;
+};
+
 /** Append-only checkpoint journal of one grid's finished cells. */
 class GridJournal
 {
@@ -63,7 +100,7 @@ class GridJournal
 
     /**
      * Canonical journal path of a grid:
-     * `cacheDir()/grid_journal_<16-hex FNV-1a of grid_identity>.csv`.
+     * `cacheDir()/grid_journal_<gridIdHex(grid_identity)>.csv`.
      */
     static std::string pathFor(const std::string &grid_identity);
 
@@ -74,15 +111,36 @@ class GridJournal
      * (torn appends, bad checksums) are skipped-and-quarantined via
      * `loadChecksummedRecords` — an interrupted run's half-written
      * tail costs one cell, not the journal. Missing file = empty map.
+     * Poisoned records are dropped here; use `loadAll` to see them.
      */
     std::map<std::string, RunResult> load() const;
+
+    /**
+     * Load finished *and* poisoned cells in one pass. A key present
+     * in both maps (cell poisoned by one run, completed by a later
+     * one after e.g. a fault was fixed) counts as finished — success
+     * trumps a stale quarantine.
+     */
+    JournalContents loadAll() const;
 
     /**
      * Append one finished cell (crash-safe, thread-safe: whole record
      * in one O_APPEND write). Best-effort like the caches — a failed
      * append only means that cell reruns after an interruption.
+     *
+     * This (and `recordPoisoned`) is the `journal_append` fault
+     * site, firing before the underlying `cache_write` site.
      */
     bool record(const std::string &cell_key, const RunResult &r) const;
+
+    /**
+     * Quarantine one cell that failed every retry attempt: append a
+     * `!poisoned` record with the (percent-escaped) failure reason.
+     * Resuming runs skip the cell and surface the reason in their
+     * grid report instead of re-simulating it.
+     */
+    bool recordPoisoned(const std::string &cell_key,
+                        const std::string &reason) const;
 
   private:
     std::string path_;

@@ -1,0 +1,175 @@
+#include "harness/grid_report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "harness/atomic_io.hh"
+#include "harness/result_cache.hh"
+
+namespace valley {
+namespace harness {
+
+namespace {
+
+/** Degradation rank: higher sorts earlier in the report. */
+int
+severity(CellStatus s)
+{
+    switch (s) {
+    case CellStatus::Poisoned:
+        return 5;
+    case CellStatus::DeadlineMissed:
+        return 4;
+    case CellStatus::NotRun:
+        return 3;
+    case CellStatus::Retried:
+        return 2;
+    case CellStatus::Resumed:
+        return 1;
+    case CellStatus::Ok:
+        return 0;
+    }
+    return 0;
+}
+
+/** Minimal JSON string escaping (quotes, backslash, control chars). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+const char *
+cellStatusName(CellStatus s)
+{
+    switch (s) {
+    case CellStatus::NotRun:
+        return "not_run";
+    case CellStatus::Ok:
+        return "ok";
+    case CellStatus::Resumed:
+        return "resumed";
+    case CellStatus::Retried:
+        return "retried";
+    case CellStatus::Poisoned:
+        return "poisoned";
+    case CellStatus::DeadlineMissed:
+        return "deadline_missed";
+    }
+    return "unknown";
+}
+
+std::string
+GridReport::pathFor(const std::string &grid_id_hex)
+{
+    return cacheDir() + "/grid_report_" + grid_id_hex + ".json";
+}
+
+void
+GridReport::finalize()
+{
+    // Stable sort: ties keep grid (workload-major) order, so the
+    // ranking is deterministic regardless of scheduling.
+    std::stable_sort(cells.begin(), cells.end(),
+                     [](const CellReport &a, const CellReport &b) {
+                         return severity(a.status) > severity(b.status);
+                     });
+    ok = resumed = retried = poisoned = deadlineMissed = 0;
+    for (const CellReport &c : cells) {
+        switch (c.status) {
+        case CellStatus::Ok:
+            ++ok;
+            break;
+        case CellStatus::Resumed:
+            ++resumed;
+            break;
+        case CellStatus::Retried:
+            ++retried;
+            break;
+        case CellStatus::Poisoned:
+            ++poisoned;
+            break;
+        case CellStatus::NotRun:
+        case CellStatus::DeadlineMissed:
+            ++deadlineMissed;
+            break;
+        }
+    }
+}
+
+std::string
+GridReport::toJson() const
+{
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"grid_id\": \"" << jsonEscape(gridId) << "\",\n";
+    out << "  \"degraded\": " << (degraded() ? "true" : "false")
+        << ",\n";
+    out << "  \"deadline_hit\": " << (deadlineHit ? "true" : "false")
+        << ",\n";
+    out << "  \"cells_total\": " << cells.size() << ",\n";
+    out << "  \"ok\": " << ok << ",\n";
+    out << "  \"resumed\": " << resumed << ",\n";
+    out << "  \"retried\": " << retried << ",\n";
+    out << "  \"poisoned\": " << poisoned << ",\n";
+    out << "  \"deadline_missed\": " << deadlineMissed << ",\n";
+    out << "  \"steals\": " << steals << ",\n";
+    out << "  \"quarantined_lines\": " << quarantinedLines << ",\n";
+    out << "  \"cells\": [\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const CellReport &c = cells[i];
+        out << "    {\"workload\": \"" << jsonEscape(c.workload)
+            << "\", \"scheme\": \"" << jsonEscape(c.scheme)
+            << "\", \"status\": \"" << cellStatusName(c.status)
+            << "\", \"attempts\": " << c.attempts;
+        if (!c.reason.empty())
+            out << ", \"reason\": \"" << jsonEscape(c.reason) << "\"";
+        out << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n";
+    out << "}\n";
+    return out.str();
+}
+
+bool
+GridReport::write() const
+{
+    return atomicWriteFile(pathFor(gridId), toJson());
+}
+
+} // namespace harness
+} // namespace valley

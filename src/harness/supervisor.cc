@@ -1,0 +1,119 @@
+#include "harness/supervisor.hh"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+
+namespace valley {
+namespace harness {
+
+namespace {
+
+/** Spawn the child; returns -1 if fork itself failed. */
+pid_t
+spawn(const std::vector<std::string> &argv)
+{
+    std::vector<char *> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string &a : argv)
+        cargv.push_back(const_cast<char *>(a.c_str()));
+    cargv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+        ::execv(cargv[0], cargv.data());
+        // exec failed: nothing of the parent to unwind — exit raw.
+        std::perror("[supervise] execv");
+        ::_exit(127);
+    }
+    return pid;
+}
+
+/** Wait for one child; returns exit code, or 128+sig if signaled. */
+int
+await(pid_t pid, bool &signaled)
+{
+    int wstatus = 0;
+    signaled = false;
+    for (;;) {
+        const pid_t r = ::waitpid(pid, &wstatus, 0);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return 127; // lost track of the child; treat as a crash
+        }
+        if (WIFEXITED(wstatus))
+            return WEXITSTATUS(wstatus);
+        if (WIFSIGNALED(wstatus)) {
+            signaled = true;
+            return 128 + WTERMSIG(wstatus);
+        }
+        // Stopped/continued: keep waiting for termination.
+    }
+}
+
+} // namespace
+
+SuperviseOutcome
+supervise(const std::vector<std::string> &child_argv,
+          const SupervisorOptions &opts)
+{
+    SuperviseOutcome out;
+    for (;;) {
+        const pid_t pid = spawn(child_argv);
+        bool signaled = false;
+        const int code = pid < 0 ? 127 : await(pid, signaled);
+
+        const bool final_exit =
+            !signaled &&
+            std::find(opts.noRestartExits.begin(),
+                      opts.noRestartExits.end(),
+                      code) != opts.noRestartExits.end();
+        if (final_exit) {
+            out.exitCode = code;
+            return out;
+        }
+
+        // A crash (signal, injector _Exit, exec failure). Restart if
+        // budget remains; the journal makes each incarnation resume
+        // where the last died.
+        if (out.restarts >= opts.maxRestarts) {
+            out.exitCode = code;
+            out.exhausted = true;
+            if (opts.log)
+                std::fprintf(stderr,
+                             "[supervise] giving up after %u "
+                             "restart(s); last child %s %d\n",
+                             out.restarts,
+                             signaled ? "died with signal code"
+                                      : "exited with code",
+                             code);
+            return out;
+        }
+        ++out.restarts;
+        if (opts.log)
+            std::fprintf(stderr,
+                         "[supervise] child %s %d; restarting "
+                         "(%u/%u)\n",
+                         signaled ? "died with signal code"
+                                  : "crashed with code",
+                         code, out.restarts, opts.maxRestarts);
+        if (opts.backoffMs != 0) {
+            const std::uint64_t ms = std::min<std::uint64_t>(
+                5000, static_cast<std::uint64_t>(opts.backoffMs)
+                          << std::min(out.restarts - 1, 31u));
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(ms));
+        }
+    }
+}
+
+} // namespace harness
+} // namespace valley

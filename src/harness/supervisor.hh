@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Process-level crash-restart supervisor: the outermost ring of the
+ * self-healing execution stack (`tools/valley_grid --supervise`).
+ *
+ * In-process machinery — retries, poisoning, cancellation — cannot
+ * survive the process itself dying: a SIGKILL, an `_Exit` in a
+ * dependency, an OOM kill. The supervisor closes that gap with the
+ * classic fork/exec/waitpid loop: run the grid as a child process,
+ * and when the child is lost to a crash, re-exec it. Because the
+ * child checkpoints every finished cell to the grid journal
+ * (`--supervise` forces `--checkpoint` on), each incarnation resumes
+ * bit-identically where the last one died — the CI drill "inject a
+ * kill at cell k, supervise, compare against the fault-free grid"
+ * passes with zero human intervention.
+ *
+ * Restart policy:
+ *
+ *  - a child terminated by ANY signal (SIGKILL included) is
+ *    restarted — signals are how crashes look to a parent;
+ *  - a child exiting with a code in `noRestartExits` is *final*:
+ *    success, usage errors, degraded-but-complete grids, and
+ *    SIGINT-style interruption are outcomes, not crashes — rerunning
+ *    cannot change them (a deterministically failing cell is the
+ *    retry/poison layer's job, not ours);
+ *  - every other exit code (e.g. the fault injector's `_Exit(42)`)
+ *    is treated as a crash and restarted;
+ *  - restarts are budgeted (`maxRestarts`) with exponential backoff
+ *    (`backoffMs`, doubling, capped) so a hard crash loop degrades
+ *    to a clean `exhausted` report instead of spinning forever.
+ */
+
+#ifndef VALLEY_HARNESS_SUPERVISOR_HH
+#define VALLEY_HARNESS_SUPERVISOR_HH
+
+#include <string>
+#include <vector>
+
+namespace valley {
+namespace harness {
+
+/** Restart policy knobs. */
+struct SupervisorOptions
+{
+    /** Crash restarts before giving up (`exhausted`). */
+    unsigned maxRestarts = 16;
+
+    /**
+     * Backoff before restart k (1-based): `backoffMs << (k-1)` ms,
+     * capped at 5000 ms. 0 disables the sleep (tests, CI drills).
+     */
+    unsigned backoffMs = 100;
+
+    /**
+     * Child exit codes that end supervision immediately (the child's
+     * code becomes the outcome). Defaults match `valley_grid`'s
+     * contract: 0 ok, 1 usage, 2 usage, 3 grid failure (deterministic
+     * — a rerun reproduces it), 4 degraded-but-complete, 130
+     * interrupted.
+     */
+    std::vector<int> noRestartExits = {0, 1, 2, 3, 4, 130};
+
+    bool log = true; ///< one stderr line per restart decision
+};
+
+/** What supervision ended with. */
+struct SuperviseOutcome
+{
+    /**
+     * Final child termination: the exit code, or 128+signal for a
+     * signaled child (only possible when `exhausted`).
+     */
+    int exitCode = 0;
+    unsigned restarts = 0; ///< crash restarts performed
+    /** Budget spent while the child still kept crashing. */
+    bool exhausted = false;
+};
+
+/**
+ * Run `child_argv` (argv[0] = executable path) under crash-restart
+ * supervision per `opts`. Blocks until the child reaches a final
+ * outcome or the restart budget is exhausted. fork/exec failures
+ * count as crashes against the same budget.
+ */
+SuperviseOutcome supervise(const std::vector<std::string> &child_argv,
+                           const SupervisorOptions &opts = {});
+
+} // namespace harness
+} // namespace valley
+
+#endif // VALLEY_HARNESS_SUPERVISOR_HH

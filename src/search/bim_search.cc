@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "common/bitops.hh"
+#include "common/fault_inject.hh"
 #include "common/rng.hh"
 #include "common/thread_pool.hh"
 
@@ -341,22 +342,30 @@ BimSearch::runChain(unsigned restart, bool greedy) const
             best = cur;
     };
 
-    // The budget gate: deterministic (counted, not timed), checked at
-    // move boundaries so a capped chain still ends on a fully scored
-    // state. See SearchOptions::maxEvaluations.
-    const auto budgetExhausted = [&] {
-        if (budget == 0 || stats.evaluations < budget)
-            return false;
-        stats.capped = true;
-        return true;
+    // The stop gate, checked at move boundaries so a stopped chain
+    // still ends on a fully scored state. Two triggers: the counted
+    // maxEvaluations budget (deterministic — never timed) and the
+    // cooperative cancel/deadline token (wall-clock degradation —
+    // flags deadlineHit so consumers don't cache the result).
+    const auto stopRequested = [&] {
+        if (budget != 0 && stats.evaluations >= budget) {
+            stats.capped = true;
+            return true;
+        }
+        if (opts.cancel != nullptr && opts.cancel->cancelled()) {
+            stats.deadlineHit = true;
+            return true;
+        }
+        return false;
     };
 
     // Annealing phase: geometric cooling from t0 to tf (the greedy
     // baseline runs the same steps at temperature 0 throughout).
     phase_start = Clock::now();
     for (unsigned k = 0; k < iters; ++k) {
-        if (budgetExhausted())
+        if (stopRequested())
             break;
+        fault::maybeInject("search_step");
         const double temp =
             greedy ? 0.0
                    : t0 * std::pow(tf / t0,
@@ -377,8 +386,9 @@ BimSearch::runChain(unsigned restart, bool greedy) const
     if (!greedy) {
         cur = best;
         for (unsigned k = 0; k < iters / 3 + 1; ++k) {
-            if (budgetExhausted())
+            if (stopRequested())
                 break;
+            fault::maybeInject("search_step");
             step(0.0);
         }
     }
@@ -455,6 +465,7 @@ BimSearch::anneal() const
         total.accepted += s.stats.accepted;
         total.rejectedSingular += s.stats.rejectedSingular;
         total.capped = total.capped || s.stats.capped;
+        total.deadlineHit = total.deadlineHit || s.stats.deadlineHit;
         total.setupSeconds += s.stats.setupSeconds;
         total.annealSeconds += s.stats.annealSeconds;
         total.polishSeconds += s.stats.polishSeconds;

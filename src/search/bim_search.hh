@@ -59,6 +59,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancellation.hh"
+
 #include "bim/bit_matrix.hh"
 #include "mapping/address_layout.hh"
 #include "search/objective.hh"
@@ -145,6 +147,21 @@ struct SearchOptions
      * hardware thread. Bit-identical at any thread count.
      */
     unsigned threads = 0;
+
+    /**
+     * Optional cooperative cancellation/deadline token (non-owning;
+     * must outlive the search). A fired token makes every chain stop
+     * at its next move boundary and the search *degrade, never
+     * throw*: it returns the best incumbent found so far — always a
+     * fully scored, invertible matrix, because the initial-state
+     * evaluation runs unconditionally — with
+     * `SearchStats::deadlineHit = true`. Wall-clock deadlines are
+     * inherently nondeterministic, so deadline-truncated results are
+     * never persisted to the SBIM cache (see searched_bim.cc);
+     * `maxEvaluations` remains the deterministic budget for
+     * bit-identical capped runs.
+     */
+    const CancelToken *cancel = nullptr;
 };
 
 /**
@@ -160,6 +177,14 @@ struct SearchStats
     std::uint64_t accepted = 0;         ///< accepted moves
     std::uint64_t rejectedSingular = 0; ///< moves failing the rank check
     bool capped = false;   ///< a chain hit its maxEvaluations share
+    /**
+     * A chain was stopped by `SearchOptions::cancel` (deadline or
+     * explicit cancellation) before exhausting its move budget. The
+     * result is still a valid invertible incumbent, but it is
+     * wall-clock-dependent: consumers must not cache or rely on it
+     * being reproducible.
+     */
+    bool deadlineHit = false;
 
     double setupSeconds = 0.0;  ///< start-state draw + initial scoring
     double annealSeconds = 0.0; ///< cooling-phase move loop

@@ -176,7 +176,10 @@ searchSet(const workloads::WorkloadSet &set,
     out.annealed =
         cached ? cached->toResult() : pipe.searcher->anneal();
     out.greedyBaseline = pipe.searcher->greedy();
-    if (!cached)
+    // A deadline-truncated result is a valid incumbent but
+    // wall-clock-dependent: persisting it would serve a
+    // nondeterministic matrix to every later (uncancelled) run.
+    if (!cached && !out.annealed.stats.deadlineHit)
         sbimCacheStore(cache_key, out.annealed);
 
     // Per-member searched profiles, persisted under the matrix-hashed
@@ -239,7 +242,10 @@ setMapper(const AddressLayout &layout,
                                    std::move(cached->bim));
     const SetPipeline pipe(set, layout, opts, scale);
     SearchResult best = pipe.searcher->anneal();
-    sbimCacheStore(cache_key, best);
+    // Same rule as searchSet: never cache a deadline-truncated
+    // (wall-clock-dependent) matrix.
+    if (!best.stats.deadlineHit)
+        sbimCacheStore(cache_key, best);
     return mapping::makeCustom(name, layout, std::move(best.bim));
 }
 

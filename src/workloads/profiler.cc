@@ -73,12 +73,19 @@ profileKernels(std::span<const Kernel> kernels,
 
     const CompiledTransform *ct = activeTransform(opts);
     const auto bvrRange = [&](std::size_t ki, TbId lo, TbId hi) {
+        // Task-start boundary: throws Cancelled (a partial profile is
+        // not a degraded profile — see ProfileOptions::cancel). In the
+        // pool path the throw propagates to the caller via run().
+        if (opts.cancel)
+            opts.cancel->check("profileWorkload cancelled");
         for (TbId tb = lo; tb < hi; ++tb)
             accumulateTb(kernels[ki], tb, opts, ct, bvrs[ki][tb],
                          counts[ki][tb]);
     };
     std::vector<EntropyProfile> out(nk);
     const auto profileOne = [&](std::size_t ki) {
+        if (opts.cancel)
+            opts.cancel->check("profileWorkload cancelled");
         // Summed in TB order — integer, hence order-independent, but
         // kept ordered for clarity.
         const std::uint64_t requests = std::accumulate(

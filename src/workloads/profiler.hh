@@ -22,6 +22,7 @@
 #ifndef VALLEY_WORKLOADS_PROFILER_HH
 #define VALLEY_WORKLOADS_PROFILER_HH
 
+#include "common/cancellation.hh"
 #include "entropy/window_entropy.hh"
 #include "mapping/address_mapper.hh"
 #include "workloads/workload.hh"
@@ -43,6 +44,17 @@ struct ProfileOptions
      * bit-identical at any thread count.
      */
     unsigned threads = 0;
+
+    /**
+     * Optional cooperative cancellation token (non-owning; must
+     * outlive the call). A profile has no meaningful partial result —
+     * half the TBs is a *different* profile, not a degraded one — so
+     * unlike `BimSearch` the profiler checks the token at each TB
+     * range / kernel-combine boundary and throws `Cancelled`. The
+     * caller's cell-level retry/poison machinery treats that like any
+     * other cell failure.
+     */
+    const CancelToken *cancel = nullptr;
 };
 
 /** Per-bit entropy profile of a single kernel. */

@@ -11,9 +11,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 
 #include "bim/bim_builder.hh"
+#include "common/cancellation.hh"
 #include "common/rng.hh"
 #include "search/searched_bim.hh"
 #include "workloads/profiler.hh"
@@ -273,4 +275,62 @@ TEST(SearchedMapper, MakeSchemeRefusesSbim)
     EXPECT_EQ(schemeName(Scheme::SBIM), "SBIM");
     // The paper's presentation order stays the six paper schemes.
     EXPECT_EQ(allSchemes().size(), 6u);
+}
+
+TEST(BimSearch, CancelledSearchDegradesToScoredInvertibleIncumbent)
+{
+    PlanesFixture s("MT");
+    const AddressLayout layout = gddr5();
+    SearchOptions opts = defaultOptions(layout);
+    opts.threads = 1;
+    opts.restarts = 2;
+    opts.iterations = 300;
+
+    // Fire before the first move: the harshest deadline possible.
+    // The degradation contract says the search must still return a
+    // fully scored, invertible incumbent — never throw, never hand
+    // back garbage — and flag the truncation.
+    CancelToken token;
+    token.cancel();
+    opts.cancel = &token;
+    const BimSearch searcher(layout, *s.planes,
+                             defaultObjective(layout), opts);
+    const SearchResult r = searcher.anneal();
+
+    EXPECT_TRUE(r.stats.deadlineHit);
+    EXPECT_FALSE(r.stats.capped); // budget was not the stopper
+    EXPECT_TRUE(r.bim.invertible());
+    EXPECT_TRUE(std::isfinite(r.cost));
+    // The incumbent still honors the structural invariants.
+    std::vector<bool> is_target(layout.addrBits, false);
+    for (unsigned t : searcher.targets())
+        is_target[t] = true;
+    for (unsigned row = 0; row < layout.addrBits; ++row)
+        if (!is_target[row])
+            EXPECT_TRUE(r.bim.rowIsIdentity(row)) << "row " << row;
+}
+
+TEST(BimSearch, UnfiredTokenLeavesTheSearchBitIdentical)
+{
+    PlanesFixture s("MT");
+    const AddressLayout layout = gddr5();
+    SearchOptions opts = defaultOptions(layout);
+    opts.threads = 1;
+    opts.restarts = 2;
+    opts.iterations = 300;
+    const BimSearch plain(layout, *s.planes,
+                          defaultObjective(layout), opts);
+    const SearchResult a = plain.anneal();
+
+    CancelToken token; // present but never fired
+    SearchOptions watched = opts;
+    watched.cancel = &token;
+    const BimSearch observed(layout, *s.planes,
+                             defaultObjective(layout), watched);
+    const SearchResult b = observed.anneal();
+
+    EXPECT_FALSE(b.stats.deadlineHit);
+    EXPECT_TRUE(a.bim == b.bim);
+    EXPECT_EQ(a.cost, b.cost);
+    EXPECT_EQ(a.stats.evaluations, b.stats.evaluations);
 }

@@ -11,6 +11,10 @@
 
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -338,4 +342,60 @@ TEST_F(CacheRobustnessTest, QuarantineRewriteKeepsConcurrentAppends)
     }
     writer.join();
     EXPECT_EQ(countKeys(), static_cast<std::size_t>(kRecords));
+}
+
+TEST_F(CacheRobustnessTest, StaleLockSidecarIsCleanedAtCacheOpen)
+{
+    // A SIGKILL between sidecar creation and process death leaves the
+    // `.<basename>.lock` dotfile behind with no live flock holder.
+    std::filesystem::create_directories(dir);
+    const std::string data = (dir / "victim.csv").string();
+    const std::string lock = (dir / ".victim.csv.lock").string();
+    appendRaw(data, harness::checksummedRecord("v;k", "payload"));
+    appendRaw(lock, ""); // orphaned sidecar, nobody holds it
+
+    ASSERT_TRUE(std::filesystem::exists(lock));
+    EXPECT_TRUE(harness::cleanStaleLock(data));
+    EXPECT_FALSE(std::filesystem::exists(lock));
+    // Idempotent: nothing left to clean.
+    EXPECT_FALSE(harness::cleanStaleLock(data));
+
+    // loadChecksummedRecords performs the same sweep at every open
+    // (its own FileLock then re-creates the sidecar and releases it,
+    // so afterwards the file exists again but is unheld — stale by
+    // definition, removable by the next probe).
+    appendRaw(lock, "");
+    std::size_t seen = 0;
+    const harness::LoadStats stats = harness::loadChecksummedRecords(
+        data, "v", [&](const std::string &, const std::string &) {
+            ++seen;
+            return true;
+        });
+    EXPECT_EQ(stats.accepted, 1u);
+    EXPECT_EQ(seen, 1u);
+    EXPECT_TRUE(harness::cleanStaleLock(data));
+    EXPECT_FALSE(std::filesystem::exists(lock));
+}
+
+TEST_F(CacheRobustnessTest, LiveLockHolderIsLeftUntouched)
+{
+    std::filesystem::create_directories(dir);
+    const std::string data = (dir / "held.csv").string();
+    const std::string lock = (dir / ".held.csv.lock").string();
+
+    // Hold the sidecar flock ourselves: the probe must see a live
+    // holder and leave the file alone. flock(2) locks belong to the
+    // open file description, so a second descriptor in the same
+    // process genuinely contends.
+    const int fd = ::open(lock.c_str(), O_WRONLY | O_CREAT, 0644);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::flock(fd, LOCK_EX), 0);
+
+    EXPECT_FALSE(harness::cleanStaleLock(data));
+    EXPECT_TRUE(std::filesystem::exists(lock));
+
+    ::flock(fd, LOCK_UN);
+    ::close(fd);
+    EXPECT_TRUE(harness::cleanStaleLock(data));
+    EXPECT_FALSE(std::filesystem::exists(lock));
 }

@@ -84,3 +84,61 @@ TEST(FaultInject, DisarmResetsCounterAndSilences)
     EXPECT_EQ(fault::hitCount(), 1u);
     EXPECT_THROW(fault::maybeInject("s"), fault::Injected);
 }
+
+TEST(FaultInject, EveryKRecursAfterTheFirstFiring)
+{
+    Disarm guard;
+    fault::configure("s:2:every=3");
+    fault::maybeInject("s");                             // hit 1
+    EXPECT_THROW(fault::maybeInject("s"), fault::Injected); // hit 2
+    fault::maybeInject("s");                             // hit 3
+    fault::maybeInject("s");                             // hit 4
+    EXPECT_THROW(fault::maybeInject("s"), fault::Injected); // hit 5
+    fault::maybeInject("s");                             // hit 6
+    fault::maybeInject("s");                             // hit 7
+    EXPECT_THROW(fault::maybeInject("s"), fault::Injected); // hit 8
+    EXPECT_EQ(fault::hitCount(), 8u);
+}
+
+TEST(FaultInject, EverySuffixComposesWithModeInEitherOrder)
+{
+    Disarm guard;
+    fault::configure("s:1:throw:every=2");
+    EXPECT_THROW(fault::maybeInject("s"), fault::Injected); // hit 1
+    fault::maybeInject("s");                                // hit 2
+    EXPECT_THROW(fault::maybeInject("s"), fault::Injected); // hit 3
+
+    fault::configure("s:1:every=2:throw");
+    EXPECT_THROW(fault::maybeInject("s"), fault::Injected); // hit 1
+    fault::maybeInject("s");                                // hit 2
+    EXPECT_THROW(fault::maybeInject("s"), fault::Injected); // hit 3
+}
+
+TEST(FaultInject, MalformedEverySuffixIsRejected)
+{
+    EXPECT_THROW(fault::configure("s:1:every"),
+                 std::invalid_argument);
+    EXPECT_THROW(fault::configure("s:1:every="),
+                 std::invalid_argument);
+    EXPECT_THROW(fault::configure("s:1:every=0"),
+                 std::invalid_argument);
+    EXPECT_THROW(fault::configure("s:1:every=x"),
+                 std::invalid_argument);
+}
+
+TEST(FaultInject, ResetRestartsTheCountKeepingTheSpec)
+{
+    Disarm guard;
+    fault::configure("s:2");
+    fault::maybeInject("s");
+    EXPECT_THROW(fault::maybeInject("s"), fault::Injected);
+    // A once-only fault stays quiet past N...
+    fault::maybeInject("s");
+    EXPECT_EQ(fault::hitCount(), 3u);
+    // ...until reset() re-arms the count (spec unchanged) — the hook
+    // a multi-leg drill uses between legs without reparsing env.
+    fault::reset();
+    EXPECT_EQ(fault::hitCount(), 0u);
+    fault::maybeInject("s");
+    EXPECT_THROW(fault::maybeInject("s"), fault::Injected);
+}

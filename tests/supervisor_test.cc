@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the crash-restart supervisor (`harness::supervise`):
+ * final exits pass through untouched, crashes — SIGKILL-grade
+ * included — restart the child, the restart budget degrades to a
+ * clean `exhausted` report, and exec failures count as crashes. The
+ * children are tiny /bin/sh scripts using marker files to change
+ * behavior between incarnations, exactly how a checkpointed grid
+ * child "resumes" after a kill. The full valley_grid kill drill runs
+ * in CI via `bench/supervise_smoke`.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "harness/supervisor.hh"
+
+using namespace valley;
+using namespace valley::harness;
+
+namespace {
+
+/** Fast, quiet supervision for tests. */
+SupervisorOptions
+quiet(unsigned max_restarts = 4)
+{
+    SupervisorOptions o;
+    o.maxRestarts = max_restarts;
+    o.backoffMs = 0;
+    o.log = false;
+    return o;
+}
+
+std::vector<std::string>
+shell(const std::string &script)
+{
+    return {"/bin/sh", "-c", script};
+}
+
+class SupervisorTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir = std::filesystem::temp_directory_path() /
+              ("valley_supervisor_test_" +
+               std::to_string(::getpid()));
+        std::filesystem::remove_all(dir);
+        std::filesystem::create_directories(dir);
+        marker = (dir / "marker").string();
+    }
+
+    void
+    TearDown() override
+    {
+        std::filesystem::remove_all(dir);
+    }
+
+    std::filesystem::path dir;
+    std::string marker;
+};
+
+} // namespace
+
+TEST_F(SupervisorTest, CleanExitPassesThroughWithoutRestart)
+{
+    const SuperviseOutcome out = supervise(shell("exit 0"), quiet());
+    EXPECT_EQ(out.exitCode, 0);
+    EXPECT_EQ(out.restarts, 0u);
+    EXPECT_FALSE(out.exhausted);
+}
+
+TEST_F(SupervisorTest, NoRestartExitCodesAreFinalOutcomes)
+{
+    // 3 (deterministic grid failure) and 4 (degraded-but-complete)
+    // are outcomes a rerun cannot change; the supervisor must not
+    // burn its budget on them.
+    for (int code : {1, 3, 4, 130}) {
+        const SuperviseOutcome out = supervise(
+            shell("exit " + std::to_string(code)), quiet());
+        EXPECT_EQ(out.exitCode, code) << "code " << code;
+        EXPECT_EQ(out.restarts, 0u) << "code " << code;
+        EXPECT_FALSE(out.exhausted) << "code " << code;
+    }
+}
+
+TEST_F(SupervisorTest, SigkilledChildIsRestartedAndRecovers)
+{
+    // First incarnation SIGKILLs itself after leaving a marker — the
+    // shape of a crash mid-grid with the journal already flushed.
+    // The second incarnation finds the marker and succeeds.
+    const SuperviseOutcome out = supervise(
+        shell("if [ -e " + marker + " ]; then exit 0; " +
+              "else : > " + marker + "; kill -9 $$; fi"),
+        quiet());
+    EXPECT_EQ(out.exitCode, 0);
+    EXPECT_EQ(out.restarts, 1u);
+    EXPECT_FALSE(out.exhausted);
+}
+
+TEST_F(SupervisorTest, UnlistedExitCodeCountsAsACrash)
+{
+    // The fault injector's kill mode is _Exit(42): not a signal, but
+    // not a listed outcome either — it must restart.
+    const SuperviseOutcome out = supervise(
+        shell("if [ -e " + marker + " ]; then exit 0; " +
+              "else : > " + marker + "; exit 42; fi"),
+        quiet());
+    EXPECT_EQ(out.exitCode, 0);
+    EXPECT_EQ(out.restarts, 1u);
+    EXPECT_FALSE(out.exhausted);
+}
+
+TEST_F(SupervisorTest, HardCrashLoopExhaustsTheBudgetCleanly)
+{
+    const SuperviseOutcome out =
+        supervise(shell("kill -9 $$"), quiet(/*max_restarts=*/2));
+    EXPECT_TRUE(out.exhausted);
+    EXPECT_EQ(out.restarts, 2u);
+    EXPECT_EQ(out.exitCode, 128 + 9); // how the last child died
+}
+
+TEST_F(SupervisorTest, ExecFailureCountsAgainstTheBudget)
+{
+    const SuperviseOutcome out =
+        supervise({(dir / "no_such_binary").string()},
+                  quiet(/*max_restarts=*/1));
+    EXPECT_TRUE(out.exhausted);
+    EXPECT_EQ(out.restarts, 1u);
+    EXPECT_EQ(out.exitCode, 127);
+}
