@@ -22,6 +22,7 @@
 
 #include "common/table.hh"
 #include "harness/experiment.hh"
+#include "mapping/layout_registry.hh"
 #include "workloads/profiler.hh"
 
 namespace valley {
@@ -133,6 +134,24 @@ envWorkloads(std::vector<std::string> fallback)
     return out.empty() ? fallback : out;
 }
 
+/**
+ * Layout axis override: VALLEY_LAYOUT names a registered DRAM
+ * organization preset (a key like `hbm2_4gb` or a `layout:` spec —
+ * see `valley_search --list-layouts`). Unset keeps the bench's
+ * config default (the paper's GDDR5 baseline), so any fig grid can
+ * be rerun on another organization without recompiling:
+ *
+ *   VALLEY_LAYOUT=hbm2_4gb ./build/fig12_speedup
+ */
+inline AddressLayout
+envLayout(AddressLayout fallback)
+{
+    const char *s = std::getenv("VALLEY_LAYOUT");
+    if (!s || !*s)
+        return fallback;
+    return mapping::makeLayout(s); // throws on unknown presets
+}
+
 inline void
 printHeader(const std::string &experiment, const std::string &what)
 {
@@ -158,6 +177,7 @@ valleyGrid(double scale = 1.0,
     harness::GridOptions o;
     o.workloads = envWorkloads(workloads::valleySet());
     o.schemes = std::move(schemes);
+    o.config.layout = envLayout(o.config.layout);
     o.scale = envScale(scale);
     o.useCache = true;
     o.progress = true;
@@ -171,6 +191,7 @@ nonValleyGrid(double scale = 1.0)
     harness::GridOptions o;
     o.workloads = envWorkloads(workloads::nonValleySet());
     o.schemes = allSchemes();
+    o.config.layout = envLayout(o.config.layout);
     o.scale = envScale(scale);
     o.useCache = true;
     o.progress = true;

@@ -17,6 +17,8 @@
 #include "harness/atomic_io.hh"
 #include "harness/grid_journal.hh"
 #include "harness/result_cache.hh"
+#include "mapping/layout_registry.hh"
+#include "mapping/mapper_registry.hh"
 #include "search/searched_bim.hh"
 #include "synth/registry.hh"
 #include "workloads/workload_set.hh"
@@ -46,17 +48,25 @@ cellSearchOptions(const SimConfig &config, std::uint64_t bim_seed)
  * search implementation, not just the seed, so their cells carry the
  * search version in the scheme slot; GBIM cells additionally carry
  * the joint set's canonical hash (the same workload simulates
- * differently under different sets).
+ * differently under different sets). The layout identity is a
+ * first-class key field so the same config name over two layout
+ * presets can never collide.
  */
 std::string
-cellCacheKey(const SimConfig &config, Scheme scheme,
+cellCacheKey(const SimConfig &config, const std::string &mapper_spec,
              const std::string &workload, std::uint64_t bim_seed,
              double scale, const workloads::WorkloadSet *joint_set)
 {
-    std::string scheme_id = schemeName(scheme);
-    if (scheme == Scheme::SBIM) {
+    // Mapper specs key on their canonical form, like synth workload
+    // specs: reordered parameters or redundant defaults hit the same
+    // cells.
+    const mapping::ResolvedMapperSpec resolved =
+        mapping::resolveMapperSpec(mapper_spec);
+    std::string scheme_id = resolved.canonical();
+    const std::string &family = resolved.family().name;
+    if (family == "sbim") {
         scheme_id += std::string("@") + search::kSearchVersion;
-    } else if (scheme == Scheme::GBIM) {
+    } else if (family == "gbim") {
         const workloads::WorkloadSet set =
             joint_set ? *joint_set : workloads::WorkloadSet({workload});
         scheme_id += std::string("@") + search::kSearchVersion + "@" +
@@ -69,8 +79,14 @@ cellCacheKey(const SimConfig &config, Scheme scheme,
         synth::isSynthSpec(workload)
             ? synth::resolve(workload).canonical()
             : workload;
-    return cacheKey(config.name, workload_key, scheme_id, bim_seed,
-                    scale);
+    // Free-form and spec-bearing fields are percent-escaped: a ','
+    // (mapper/synth parameter lists), ';' (key field separator) or
+    // '|' (journal line separator) inside one field can never
+    // collide two different cells onto one identity.
+    return cacheKey(workloads::escapeSpecField(config.name),
+                    workloads::escapeSpecField(workload_key),
+                    workloads::escapeSpecField(scheme_id), bim_seed,
+                    scale, mapping::layoutIdentity(config.layout));
 }
 
 /** `GridOptions::checkpoint`, overridable by VALLEY_CHECKPOINT. */
@@ -106,9 +122,9 @@ gridIdentity(const GridOptions &opts,
     for (const auto &w : opts.workloads)
         out << workloads::escapeSpecField(w) << ',';
     out << ';';
-    for (Scheme s : opts.schemes)
-        out << schemeName(s) << ',';
-    out << ';'
+    for (const auto &m : opts.mappers)
+        out << workloads::escapeSpecField(m) << ',';
+    out << ';' << mapping::layoutIdentity(opts.config.layout) << ';'
         << workloads::escapeSpecField(joint ? joint->key()
                                             : std::string());
     return out.str();
@@ -127,50 +143,79 @@ simulateCell(const SimConfig &config, const AddressMapper &mapper,
 } // namespace
 
 RunResult
-runOne(const SimConfig &config, Scheme scheme,
+runOne(const SimConfig &config, const std::string &mapper_spec,
        const std::string &workload, double scale,
        std::uint64_t bim_seed, const workloads::WorkloadSet *joint_set)
 {
+    const mapping::ResolvedMapperSpec resolved =
+        mapping::resolveMapperSpec(mapper_spec);
+    const mapping::MapperFamily &family = resolved.family();
+
     std::unique_ptr<AddressMapper> mapper;
-    if (scheme == Scheme::SBIM) {
+    if (family.name == "sbim") {
         // Profile-driven searched mapping over this one workload's
         // trace planes: the size-1 set, named "SBIM" by default.
         mapper = search::setMapper(
             config.layout, workloads::WorkloadSet({workload}),
             cellSearchOptions(config, bim_seed), scale);
-    } else if (scheme == Scheme::GBIM) {
+    } else if (family.name == "gbim") {
         // Global searched mapping: one BIM annealed jointly against
         // the whole set — the deployment story the per-workload SBIM
         // column is compared against. (Grid cells share the matrix
         // in memory via runGrid; this standalone path rebuilds it,
         // through the SBIM cache when enabled.) Named after the
-        // *requested scheme*: a size-1 set would otherwise label the
+        // *requested family*: a size-1 set would otherwise label the
         // cell's RunResult "SBIM".
         const workloads::WorkloadSet fallback({workload});
         mapper = search::setMapper(
             config.layout, joint_set ? *joint_set : fallback,
             cellSearchOptions(config, bim_seed), scale, "GBIM");
+    } else if (family.needsProfiles) {
+        throw std::invalid_argument(
+            "runOne: " + resolved.canonical() +
+            " requires workload profiles and has no search routing");
     } else {
-        mapper = mapping::makeScheme(scheme, config.layout, bim_seed);
+        mapper = mapping::makeMapper(mapper_spec, config.layout,
+                                     bim_seed);
     }
     return simulateCell(config, *mapper, workload, scale);
 }
 
 RunResult
-runOneCached(const SimConfig &config, Scheme scheme,
-             const std::string &workload, double scale,
-             std::uint64_t bim_seed, const workloads::WorkloadSet *joint_set)
+runOne(const SimConfig &config, Scheme scheme,
+       const std::string &workload, double scale,
+       std::uint64_t bim_seed, const workloads::WorkloadSet *joint_set)
 {
-    const std::string key = cellCacheKey(config, scheme, workload,
+    return runOne(config, mapping::schemeSpec(scheme), workload, scale,
+                  bim_seed, joint_set);
+}
+
+RunResult
+runOneCached(const SimConfig &config, const std::string &mapper_spec,
+             const std::string &workload, double scale,
+             std::uint64_t bim_seed,
+             const workloads::WorkloadSet *joint_set)
+{
+    const std::string key = cellCacheKey(config, mapper_spec, workload,
                                          bim_seed, scale, joint_set);
     if (auto hit = cacheLookup(key)) {
         hit->config = config.name;
         return *hit;
     }
-    RunResult r =
-        runOne(config, scheme, workload, scale, bim_seed, joint_set);
+    RunResult r = runOne(config, mapper_spec, workload, scale, bim_seed,
+                         joint_set);
     cacheStore(key, r);
     return r;
+}
+
+RunResult
+runOneCached(const SimConfig &config, Scheme scheme,
+             const std::string &workload, double scale,
+             std::uint64_t bim_seed,
+             const workloads::WorkloadSet *joint_set)
+{
+    return runOneCached(config, mapping::schemeSpec(scheme), workload,
+                        scale, bim_seed, joint_set);
 }
 
 Grid::Grid(GridOptions opts_, std::vector<std::vector<RunResult>> res,
@@ -178,6 +223,9 @@ Grid::Grid(GridOptions opts_, std::vector<std::vector<RunResult>> res,
     : opts(std::move(opts_)), results(std::move(res)),
       report_(std::move(report))
 {
+    // runGrid normalizes before construction; this keeps direct
+    // constructions (tests, embedders) consistent too.
+    normalizeGridAxes(opts);
 }
 
 std::size_t
@@ -192,10 +240,17 @@ Grid::wIndex(const std::string &workload) const
 std::size_t
 Grid::sIndex(Scheme s) const
 {
-    for (std::size_t i = 0; i < opts.schemes.size(); ++i)
-        if (opts.schemes[i] == s)
+    return sIndex(mapping::schemeSpec(s));
+}
+
+std::size_t
+Grid::sIndex(const std::string &mapper_spec) const
+{
+    const std::string canon = mapping::canonicalMapperSpec(mapper_spec);
+    for (std::size_t i = 0; i < opts.mappers.size(); ++i)
+        if (opts.mappers[i] == canon)
             return i;
-    throw std::out_of_range("grid: scheme not in grid");
+    throw std::out_of_range("grid: mapper " + canon + " not in grid");
 }
 
 const RunResult &
@@ -204,11 +259,27 @@ Grid::at(const std::string &workload, Scheme s) const
     return results[wIndex(workload)][sIndex(s)];
 }
 
+const RunResult &
+Grid::at(const std::string &workload,
+         const std::string &mapper_spec) const
+{
+    return results[wIndex(workload)][sIndex(mapper_spec)];
+}
+
 double
 Grid::speedup(const std::string &workload, Scheme s) const
 {
     const RunResult &base = at(workload, Scheme::BASE);
     const RunResult &r = at(workload, s);
+    return r.seconds > 0.0 ? base.seconds / r.seconds : 0.0;
+}
+
+double
+Grid::speedup(const std::string &workload,
+              const std::string &mapper_spec) const
+{
+    const RunResult &base = at(workload, Scheme::BASE);
+    const RunResult &r = at(workload, mapper_spec);
     return r.seconds > 0.0 ? base.seconds / r.seconds : 0.0;
 }
 
@@ -296,14 +367,53 @@ Grid::hmeanPerfPerWattNorm(Scheme s) const
     return harmonicMean(v);
 }
 
+void
+normalizeGridAxes(GridOptions &opts)
+{
+    if (opts.mappers.empty())
+        for (Scheme s : opts.schemes)
+            opts.mappers.push_back(mapping::schemeSpec(s));
+    for (auto &m : opts.mappers)
+        m = mapping::canonicalMapperSpec(m);
+}
+
+namespace {
+
+/** One resolved entry of the grid's mapper axis. */
+struct MapperAxisEntry
+{
+    std::string spec;  ///< canonical spec (cache/journal identity)
+    std::string label; ///< family display name (reports, progress)
+    bool gbim = false; ///< shares the grid's one joint searched BIM
+};
+
+std::vector<MapperAxisEntry>
+resolveMapperAxis(const GridOptions &opts)
+{
+    std::vector<MapperAxisEntry> axis;
+    axis.reserve(opts.mappers.size());
+    for (const auto &m : opts.mappers) {
+        const mapping::ResolvedMapperSpec r =
+            mapping::resolveMapperSpec(m);
+        axis.push_back(
+            {m, r.family().displayName(r), r.family().name == "gbim"});
+    }
+    return axis;
+}
+
+} // namespace
+
 Grid
 runGrid(GridOptions opts)
 {
+    normalizeGridAxes(opts);
+    const std::vector<MapperAxisEntry> axis = resolveMapperAxis(opts);
+
     // Every cell writes only its own preallocated slot, so the result
     // placement is deterministic under any scheduling order.
     std::vector<std::vector<RunResult>> results(
         opts.workloads.size(),
-        std::vector<RunResult>(opts.schemes.size()));
+        std::vector<RunResult>(axis.size()));
 
     // One canonical joint set for every GBIM cell of this grid: the
     // explicit override, or the grid's own workload axis — "the best
@@ -313,8 +423,8 @@ runGrid(GridOptions opts)
     // so a cold parallel grid never races N identical annealing
     // searches — with or without the on-disk caches.
     std::unique_ptr<workloads::WorkloadSet> joint;
-    if (std::find(opts.schemes.begin(), opts.schemes.end(),
-                  Scheme::GBIM) != opts.schemes.end())
+    if (std::any_of(axis.begin(), axis.end(),
+                    [](const MapperAxisEntry &e) { return e.gbim; }))
         joint = std::make_unique<workloads::WorkloadSet>(
             opts.jointSet.empty() ? opts.workloads : opts.jointSet);
     std::unique_ptr<AddressMapper> gbim_mapper;
@@ -362,8 +472,7 @@ runGrid(GridOptions opts)
             std::chrono::milliseconds(deadline_ms)));
 
     const unsigned max_attempts = std::max(1u, opts.maxAttempts);
-    const std::size_t cells =
-        opts.workloads.size() * opts.schemes.size();
+    const std::size_t cells = opts.workloads.size() * axis.size();
     std::atomic<std::size_t> cells_done{0};
     std::atomic<std::size_t> cells_resumed{0};
 
@@ -375,11 +484,11 @@ runGrid(GridOptions opts)
 
     const auto runCell = [&](std::size_t wi, std::size_t si) {
         const std::string &w = opts.workloads[wi];
-        const Scheme s = opts.schemes[si];
-        const std::size_t idx = wi * opts.schemes.size() + si;
+        const MapperAxisEntry &m = axis[si];
+        const std::size_t idx = wi * axis.size() + si;
         const std::string key =
             (checkpoint || opts.useCache)
-                ? cellCacheKey(opts.config, s, w, opts.bimSeed,
+                ? cellCacheKey(opts.config, m.spec, w, opts.bimSeed,
                                opts.scale, joint.get())
                 : std::string();
         if (checkpoint) {
@@ -396,7 +505,7 @@ runGrid(GridOptions opts)
                     std::fprintf(stderr,
                                  "[grid] %-6s %-5s resumed from "
                                  "journal (%zu/%zu)\n",
-                                 w.c_str(), schemeName(s).c_str(), d,
+                                 w.c_str(), m.label.c_str(), d,
                                  cells);
                 return;
             }
@@ -411,7 +520,7 @@ runGrid(GridOptions opts)
                     std::fprintf(stderr,
                                  "[grid] %-6s %-5s skipped: poisoned "
                                  "by earlier run (%s)\n",
-                                 w.c_str(), schemeName(s).c_str(),
+                                 w.c_str(), m.label.c_str(),
                                  pit->second.c_str());
                 return;
             }
@@ -424,7 +533,7 @@ runGrid(GridOptions opts)
         }
         if (opts.progress)
             std::fprintf(stderr, "[grid] %-6s %-5s %s...\n", w.c_str(),
-                         schemeName(s).c_str(),
+                         m.label.c_str(),
                          opts.config.name.c_str());
         for (unsigned attempt = 1;; ++attempt) {
             attempts_used[idx] = attempt;
@@ -434,7 +543,7 @@ runGrid(GridOptions opts)
                 // with the same VALLEY_FAULT_INJECT spec dies N *new*
                 // attempts further in, not at the same spot forever.
                 fault::maybeInject("grid_cell");
-                if (s == Scheme::GBIM && joint) {
+                if (m.gbim && joint) {
                     // GBIM cells simulate under the one shared
                     // matrix; the result cache still short-circuits
                     // repeat grids (and, on a full hit, the search
@@ -456,10 +565,10 @@ runGrid(GridOptions opts)
                 } else {
                     results[wi][si] =
                         opts.useCache
-                            ? runOneCached(opts.config, s, w,
+                            ? runOneCached(opts.config, m.spec, w,
                                            opts.scale, opts.bimSeed,
                                            joint.get())
-                            : runOne(opts.config, s, w, opts.scale,
+                            : runOne(opts.config, m.spec, w, opts.scale,
                                      opts.bimSeed, joint.get());
                 }
                 if (checkpoint)
@@ -481,7 +590,7 @@ runGrid(GridOptions opts)
                         std::fprintf(stderr,
                                      "[grid] %-6s %-5s attempt %u "
                                      "failed (%s), retrying\n",
-                                     w.c_str(), schemeName(s).c_str(),
+                                     w.c_str(), m.label.c_str(),
                                      attempt, e.what());
                     continue;
                 }
@@ -499,7 +608,7 @@ runGrid(GridOptions opts)
                     std::fprintf(stderr,
                                  "[grid] %-6s %-5s poisoned after %u "
                                  "attempt(s): %s\n",
-                                 w.c_str(), schemeName(s).c_str(),
+                                 w.c_str(), m.label.c_str(),
                                  attempt, e.what());
                 break;
             }
@@ -516,14 +625,14 @@ runGrid(GridOptions opts)
     std::uint64_t steals = 0;
     if (threads <= 1 || cells <= 1) {
         for (std::size_t wi = 0; wi < opts.workloads.size(); ++wi)
-            for (std::size_t si = 0; si < opts.schemes.size(); ++si)
+            for (std::size_t si = 0; si < axis.size(); ++si)
                 runCell(wi, si);
     } else {
         ThreadPool pool(
             static_cast<unsigned>(std::min<std::size_t>(threads,
                                                         cells)));
         for (std::size_t wi = 0; wi < opts.workloads.size(); ++wi)
-            for (std::size_t si = 0; si < opts.schemes.size(); ++si)
+            for (std::size_t si = 0; si < axis.size(); ++si)
                 pool.submit([&runCell, wi, si] { runCell(wi, si); });
         // The token lets the pool skip (claim-and-retire) cells that
         // have not started when the deadline fires; runCell's own
@@ -540,11 +649,11 @@ runGrid(GridOptions opts)
     report.deadlineHit = token.cancelled();
     report.cells.reserve(cells);
     for (std::size_t wi = 0; wi < opts.workloads.size(); ++wi)
-        for (std::size_t si = 0; si < opts.schemes.size(); ++si) {
-            const std::size_t idx = wi * opts.schemes.size() + si;
+        for (std::size_t si = 0; si < axis.size(); ++si) {
+            const std::size_t idx = wi * axis.size() + si;
             CellReport c;
             c.workload = opts.workloads[wi];
-            c.scheme = schemeName(opts.schemes[si]);
+            c.scheme = axis[si].label;
             c.status = status[idx] == CellStatus::NotRun
                            ? CellStatus::DeadlineMissed
                            : status[idx];
@@ -570,6 +679,34 @@ runGrid(GridOptions opts)
                          quarantinedLineCount()));
     return Grid(std::move(opts), std::move(results),
                 std::move(report));
+}
+
+std::vector<LayoutGrid>
+runGrids(GridOptions opts)
+{
+    normalizeGridAxes(opts);
+    const std::vector<std::string> layouts = opts.layouts;
+    opts.layouts.clear();
+
+    std::vector<LayoutGrid> out;
+    if (layouts.empty()) {
+        const std::string id =
+            mapping::layoutIdentity(opts.config.layout);
+        out.push_back({id, runGrid(std::move(opts))});
+        return out;
+    }
+    for (const auto &spec : layouts) {
+        GridOptions o = opts;
+        // makeLayout throws with the registered-key list on an
+        // unknown spec — before any cell has run.
+        o.config.layout = mapping::makeLayout(spec);
+        const std::string id = mapping::layoutIdentity(o.config.layout);
+        if (opts.progress)
+            std::fprintf(stderr, "[grid] layout %s (%s)\n", id.c_str(),
+                         o.config.layout.name.c_str());
+        out.push_back({id, runGrid(std::move(o))});
+    }
+    return out;
 }
 
 } // namespace harness

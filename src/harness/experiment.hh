@@ -29,7 +29,30 @@ struct GridOptions
 {
     SimConfig config = SimConfig::paperBaseline();
     std::vector<std::string> workloads;  ///< Table II abbreviations
+
+    /**
+     * Legacy scheme axis. A convenience facade over `mappers`: when
+     * `mappers` is empty, each enum value is translated to its
+     * registry spec (`mapping::schemeSpec`) at grid start. Ignored
+     * when `mappers` is set explicitly.
+     */
     std::vector<Scheme> schemes = allSchemes();
+
+    /**
+     * The grid's mapper axis as registry spec strings
+     * (`map:FAMILY[,k=v]...` — mapping/mapper_registry.hh). Empty =
+     * derived from `schemes`. Canonicalized in place by `runGrid`,
+     * so `Grid::options().mappers` always holds canonical specs.
+     */
+    std::vector<std::string> mappers;
+
+    /**
+     * Layout axis for `runGrids`: `layout:KEY` specs
+     * (mapping/layout_registry.hh). Empty = just `config.layout`.
+     * Plain `runGrid` ignores this and runs `config.layout` only.
+     */
+    std::vector<std::string> layouts;
+
     std::uint64_t bimSeed = 1;           ///< "BIM-1" of Fig. 19
     double scale = 1.0;                  ///< workload problem scale
 
@@ -135,19 +158,36 @@ struct GridOptions
 };
 
 /**
- * Simulate one (config, scheme, workload) combination.
+ * Simulate one (config, mapper spec, workload) combination. The
+ * spec is resolved through the mapper registry; the searched
+ * families route through `search::` (`map:sbim` over the singleton
+ * `{workload}`, `map:gbim` over `joint_set`).
  *
- * @param joint_set for `Scheme::GBIM`, the workload set the joint
- *        BIM is searched against (every cell of a grid shares one
- *        set, and therefore one matrix); null = the degenerate
- *        singleton `{workload}`. Ignored by every other scheme.
+ * @param joint_set for `map:gbim`, the workload set the joint BIM is
+ *        searched against (every cell of a grid shares one set, and
+ *        therefore one matrix); null = the degenerate singleton
+ *        `{workload}`. Ignored by every other family.
  */
+RunResult runOne(const SimConfig &config, const std::string &mapper_spec,
+                 const std::string &workload, double scale = 1.0,
+                 std::uint64_t bim_seed = 1,
+                 const workloads::WorkloadSet *joint_set = nullptr);
+
+/** Legacy-enum facade: `runOne(config, mapping::schemeSpec(s), ...)`. */
 RunResult runOne(const SimConfig &config, Scheme scheme,
                  const std::string &workload, double scale = 1.0,
                  std::uint64_t bim_seed = 1,
                  const workloads::WorkloadSet *joint_set = nullptr);
 
 /** Like runOne, but consults/updates the on-disk result cache. */
+RunResult runOneCached(const SimConfig &config,
+                       const std::string &mapper_spec,
+                       const std::string &workload, double scale = 1.0,
+                       std::uint64_t bim_seed = 1,
+                       const workloads::WorkloadSet *joint_set =
+                           nullptr);
+
+/** Legacy-enum facade of the cached variant. */
 RunResult runOneCached(const SimConfig &config, Scheme scheme,
                        const std::string &workload, double scale = 1.0,
                        std::uint64_t bim_seed = 1,
@@ -177,8 +217,17 @@ class Grid
 
     const RunResult &at(const std::string &workload, Scheme s) const;
 
+    /** Cell lookup by mapper spec (any spelling; canonicalized). */
+    const RunResult &at(const std::string &workload,
+                        const std::string &mapper_spec) const;
+
     /** Exec-time speedup over BASE for one cell. */
     double speedup(const std::string &workload, Scheme s) const;
+
+    /** Speedup over BASE by mapper spec (`map:base` must be on the
+     *  axis, as BASE must be for the enum overloads). */
+    double speedup(const std::string &workload,
+                   const std::string &mapper_spec) const;
 
     /** DRAM power normalized to BASE. */
     double dramPowerNorm(const std::string &workload, Scheme s) const;
@@ -214,14 +263,39 @@ class Grid
   private:
     std::size_t wIndex(const std::string &workload) const;
     std::size_t sIndex(Scheme s) const;
+    std::size_t sIndex(const std::string &mapper_spec) const;
 
     GridOptions opts;
-    std::vector<std::vector<RunResult>> results; // [workload][scheme]
+    std::vector<std::vector<RunResult>> results; // [workload][mapper]
     GridReport report_;
 };
 
+/**
+ * Resolve the mapper axis in place: derive `mappers` from `schemes`
+ * when empty, then canonicalize every spec (throws
+ * `std::invalid_argument` on an unknown family/parameter). `runGrid`
+ * calls this first; CLIs call it to validate user specs up front.
+ */
+void normalizeGridAxes(GridOptions &opts);
+
 /** Run the full grid. */
 Grid runGrid(GridOptions opts);
+
+/** One per-layout grid of a `runGrids` sweep. */
+struct LayoutGrid
+{
+    std::string layout; ///< canonical layout identity of this grid
+    Grid grid;
+};
+
+/**
+ * Run the grid once per entry of `opts.layouts` (the whole mapper x
+ * workload grid becomes a 3D sweep with the layout axis outermost).
+ * Empty `layouts` = one grid on `opts.config.layout`. Each layout's
+ * journal/cache identities are distinct: the layout identity is a
+ * first-class field of the cell cache keys and the grid identity.
+ */
+std::vector<LayoutGrid> runGrids(GridOptions opts);
 
 } // namespace harness
 } // namespace valley

@@ -13,7 +13,9 @@ namespace harness {
 
 // p2: checksummed record lines (atomic_io.hh) — pre-checksum epochs
 // are skipped as stale on load.
-const char *kProfileCacheVersion = "p2";
+// p3: mapper-registry epoch — profiles are keyed alongside v5 result
+// keys and m3 searched matrices; pre-registry lines load as stale.
+const char *kProfileCacheVersion = "p3";
 
 std::string
 profileCachePath()

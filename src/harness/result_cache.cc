@@ -13,7 +13,10 @@ namespace harness {
 
 // v4: checksummed record lines (atomic_io.hh) — pre-checksum epochs
 // are skipped as stale on load.
-const char *kResultCacheVersion = "v4";
+// v5: mapper-registry spec keys — the scheme field holds the escaped
+// canonical `map:` spec and a layout-identity field is appended, so
+// pre-registry keys can never alias post-registry cells.
+const char *kResultCacheVersion = "v5";
 
 std::string
 cacheDir()
@@ -135,11 +138,13 @@ cacheEnabled()
 
 std::string
 cacheKey(const std::string &config_name, const std::string &workload,
-         const std::string &scheme, std::uint64_t seed, double scale)
+         const std::string &scheme, std::uint64_t seed, double scale,
+         const std::string &layout)
 {
     std::ostringstream out;
     out << kResultCacheVersion << ';' << config_name << ';' << workload
-        << ';' << scheme << ';' << seed << ';' << scale;
+        << ';' << scheme << ';' << seed << ';' << scale << ';'
+        << layout;
     return out.str();
 }
 

@@ -40,11 +40,17 @@ std::string resultCachePath();
 /** True unless VALLEY_CACHE=0 is set in the environment. */
 bool cacheEnabled();
 
-/** Unique key of one run. */
+/**
+ * Unique key of one run. Free-form fields must be percent-escaped by
+ * the caller (`workloads::escapeSpecField`) — ';' separates the key
+ * fields. `layout` is the layout identity
+ * (`mapping::layoutIdentity`); the default keeps legacy five-field
+ * call sites compiling with an empty layout slot.
+ */
 std::string cacheKey(const std::string &config_name,
                      const std::string &workload,
                      const std::string &scheme, std::uint64_t seed,
-                     double scale);
+                     double scale, const std::string &layout = "");
 
 /** Look up a cached result (loads the file on first use). */
 std::optional<RunResult> cacheLookup(const std::string &key);

@@ -4,22 +4,18 @@
 #include <sstream>
 
 #include "common/bitops.hh"
+#include "mapping/layout_registry.hh"
 
 namespace valley {
+
+// Both legacy constructors now derive from the declarative preset
+// table in layout_registry.cc; the bit positions (paper Fig. 4 /
+// Sec. VI-D) follow from the field order there.
 
 AddressLayout
 AddressLayout::hynixGddr5()
 {
-    AddressLayout l;
-    l.name = "Hynix GDDR5 1GB";
-    l.addrBits = 30;
-    l.block = {0, 6};    // 64 B DRAM block
-    l.colLo = {6, 2};    // low column bits
-    l.channel = {8, 2};  // 4 channels   (valley bits 8-9 in the paper)
-    l.bank = {10, 4};    // 16 banks     (valley includes bank bit 10)
-    l.colHi = {14, 4};   // high column bits (64 columns total)
-    l.row = {18, 12};    // 4 K rows
-    l.vault = {0, 0};
+    AddressLayout l = mapping::makeLayout("gddr5_1gb");
     assert(l.capacityBytes() == (std::uint64_t{1} << 30));
     return l;
 }
@@ -27,16 +23,7 @@ AddressLayout::hynixGddr5()
 AddressLayout
 AddressLayout::stacked3d()
 {
-    AddressLayout l;
-    l.name = "3D-stacked 4GB (4 stacks x 16 vaults)";
-    l.addrBits = 32;
-    l.block = {0, 6};
-    l.colLo = {6, 2};
-    l.channel = {8, 2};  // stack select
-    l.vault = {10, 4};   // 16 vaults per stack
-    l.bank = {14, 4};    // 16 banks per vault
-    l.colHi = {18, 4};
-    l.row = {22, 10};    // 1 K rows per bank
+    AddressLayout l = mapping::makeLayout("stacked3d_4gb");
     assert(l.capacityBytes() == (std::uint64_t{1} << 32));
     return l;
 }

@@ -71,6 +71,15 @@ class AddressLayout
     static AddressLayout stacked3d();
 
     std::string name;
+
+    /**
+     * Canonical `layout:KEY` spec when this layout was built from a
+     * registered preset (`mapping/layout_registry.hh`); empty for
+     * hand-assembled layouts. Cache and journal identities key on
+     * this via `mapping::layoutIdentity`.
+     */
+    std::string spec;
+
     unsigned addrBits = 0;
 
     BitField block;   ///< intra-page offset (never remapped)

@@ -7,6 +7,7 @@
 #include "bim/bim_builder.hh"
 #include "common/bitops.hh"
 #include "common/rng.hh"
+#include "mapping/mapper_registry.hh"
 
 namespace valley {
 
@@ -48,104 +49,22 @@ AddressMapper::AddressMapper(std::string name, AddressLayout layout,
 }
 
 namespace mapping {
-namespace {
-
-/** Mix the scheme into the user seed so schemes draw distinct BIMs. */
-std::uint64_t
-schemeSeed(Scheme s, std::uint64_t seed)
-{
-    return (seed + 1) * 0x9E3779B97F4A7C15ull ^
-           (static_cast<std::uint64_t>(s) + 1) * 0xBF58476D1CE4E5B9ull;
-}
-
-BitMatrix
-buildPm(const AddressLayout &layout)
-{
-    // Each channel/vault/bank bit XORed with a distinct least
-    // significant row bit (Fig. 8): the narrow-range gather the Broad
-    // schemes improve upon.
-    const std::vector<unsigned> targets = layout.randomizeTargets();
-    const std::vector<unsigned> row_bits = layout.rowBits();
-    if (row_bits.size() < targets.size())
-        throw std::invalid_argument("PM: not enough row bits");
-    const std::vector<unsigned> donors(row_bits.begin(),
-                                       row_bits.begin() + targets.size());
-    return bim::permutationBased(layout.addrBits, targets, donors);
-}
-
-BitMatrix
-buildRmp(const AddressLayout &layout)
-{
-    // RMP routes the 6 bits with the highest *average* entropy across
-    // all benchmarks into the channel/bank positions (Section IV-B).
-    // Applying that methodology to this repository's workload suite
-    // (see bench/fig05) selects bits 11-16; the paper's suite selected
-    // 8-11, 15 and 16. Like the paper's RMP, a static global choice
-    // cannot adapt to per-application valleys — which is exactly the
-    // weakness the Broad schemes fix.
-    std::vector<unsigned> sources;
-    if (layout.addrBits == 30 && layout.vault.width == 0) {
-        sources = {11, 12, 13, 14, 15, 16};
-    } else {
-        const std::vector<unsigned> targets = layout.randomizeTargets();
-        sources.assign(targets.begin(), targets.end() - 2);
-        sources.push_back(layout.colHi.lo + 1);
-        sources.push_back(layout.colHi.lo + 2);
-    }
-    return bim::remap(layout.addrBits, layout.randomizeTargets(), sources);
-}
-
-} // namespace
 
 std::unique_ptr<AddressMapper>
 makeScheme(Scheme s, const AddressLayout &layout, std::uint64_t seed)
 {
-    const unsigned n = layout.addrBits;
-    XorShiftRng rng(schemeSeed(s, seed));
-    BitMatrix m = BitMatrix::identity(n);
-
-    switch (s) {
-      case Scheme::BASE:
-        break;
-      case Scheme::PM:
-        m = buildPm(layout);
-        break;
-      case Scheme::RMP:
-        m = buildRmp(layout);
-        break;
-      case Scheme::PAE:
-        m = bim::randomBroad(n, layout.randomizeTargets(),
-                             layout.pageMask(), rng);
-        break;
-      case Scheme::FAE:
-        m = bim::randomBroad(n, layout.randomizeTargets(),
-                             layout.nonBlockMask(), rng);
-        break;
-      case Scheme::ALL: {
-        // ALL rewrites every non-block bit. Bit 6 stays identity: the
-        // memory hierarchy operates on 128 B transactions, so bits
-        // [6:0] are intra-transaction offsets and remapping bit 6
-        // would break one-to-one mapping at transaction granularity
-        // (see DESIGN.md).
-        std::vector<unsigned> targets;
-        std::uint64_t mask = layout.nonBlockMask() & ~(1ull << 6);
-        for (unsigned b = 0; b < n; ++b)
-            if ((mask >> b) & 1)
-                targets.push_back(b);
-        m = bim::randomBroad(n, targets, mask, rng);
-        break;
-      }
-      case Scheme::SBIM:
-      case Scheme::GBIM:
+    // The enum is now a facade over the mapper registry: every value
+    // resolves to its registered family (builtin_mappers.cc), whose
+    // seed tag preserves the seed's per-scheme RNG streams. The
+    // differential oracle pins this delegation bit-identical.
+    if (s == Scheme::SBIM || s == Scheme::GBIM)
         // The searched BIMs depend on workload profiles, which this
         // layout-only factory does not have; the harness builds them
         // via search::searchedMapper / search::setMapper.
         throw std::invalid_argument(
             "makeScheme: " + schemeName(s) +
             " requires workload profiles; use the search:: mappers");
-    }
-    return std::make_unique<AddressMapper>(schemeName(s), layout,
-                                           std::move(m));
+    return makeMapper(schemeSpec(s), layout, seed);
 }
 
 std::unique_ptr<AddressMapper>
@@ -167,18 +86,8 @@ makeCustom(std::string name, const AddressLayout &layout, BitMatrix bim)
 std::unique_ptr<AddressMapper>
 makeMinimalistOpenPage(const AddressLayout &layout)
 {
-    // Donors: the bits directly above the high column field, i.e. the
-    // lowest row bits — consecutive DRAM pages interleave across
-    // banks and channels (good for CPU streams; the paper shows the
-    // strategy cannot adapt to GPU valleys).
-    const std::vector<unsigned> targets = layout.randomizeTargets();
-    std::vector<unsigned> sources;
-    for (unsigned i = 0; i < targets.size(); ++i)
-        sources.push_back(layout.row.lo + i);
-    BitMatrix m =
-        bim::remap(layout.addrBits, targets, sources);
-    return std::make_unique<AddressMapper>("MOP", layout,
-                                           std::move(m));
+    // Registered as the `map:mop` family (builtin_mappers.cc).
+    return makeMapper("map:mop", layout);
 }
 
 std::unique_ptr<AddressMapper>

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * String-keyed, self-registering address-mapper registry.
+ *
+ * The seed's closed `Scheme` enum meant adding a mapper touched the
+ * harness, the caches and every CLI. Now a mapper *family* registers
+ * under a spec-string key (the Ramulator
+ * `RAMULATOR_REGISTER_IMPLEMENTATION` idiom) and everything downstream
+ * — `harness::runOne`/`runGrid`, the cache keys, the CLIs — speaks
+ * specs:
+ *
+ *     map:FAMILY[,key=value]...
+ *     e.g.  map:base   map:pae,seed=3   map:perm,order=RoCoBaCh
+ *
+ * A family owns a parameter schema (defaults + canonical formatting),
+ * a display name, and a build function from (resolved spec, layout,
+ * rng) to a BIM. `ResolvedMapperSpec` is a spec validated against its
+ * family's schema; its `canonical()` form (non-default parameters
+ * only, schema order) and FNV-1a `hash()` are the stable identities
+ * the on-disk caches key on — exactly the `synth:` workload-spec
+ * semantics (`synth/registry.hh`).
+ *
+ * The legacy `Scheme` enum survives as a thin facade: every enum
+ * value maps to a registered family via `schemeSpec`, and the
+ * differential oracle (tests/mapper_oracle_test.cc) pins the two
+ * paths bit-identical.
+ *
+ * Profile-dependent families (sbim, gbim) register with
+ * `needsProfiles`; `makeMapper` cannot build them from a layout alone
+ * and the harness routes them through `search::` instead, as before.
+ *
+ * Registration idiom for a new out-of-tree family (in any linked TU):
+ *
+ *     VALLEY_REGISTER_MAPPER([] {
+ *         MapperFamily f;
+ *         f.name = "myfam";
+ *         ...
+ *         return f;
+ *     }());
+ *
+ * Built-in families live in builtin_mappers.cc; the registry pins
+ * that translation unit via an anchor symbol so static-library
+ * linking cannot strip its registrations.
+ */
+
+#ifndef VALLEY_MAPPING_MAPPER_REGISTRY_HH
+#define VALLEY_MAPPING_MAPPER_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bim/bit_matrix.hh"
+#include "common/rng.hh"
+#include "mapping/address_mapper.hh"
+#include "mapping/mapper_spec.hh"
+
+namespace valley {
+namespace mapping {
+
+class ResolvedMapperSpec;
+
+/** Parameter value types; drive canonicalization. */
+enum class MapperParamKind
+{
+    U64, ///< unsigned integer; canonicalized via parse + reprint
+    Str, ///< free text (no ','); kept verbatim after validation
+};
+
+/** One parameter of a mapper family's schema. */
+struct MapperParamSpec
+{
+    std::string key;  ///< [a-z0-9_]+
+    MapperParamKind kind = MapperParamKind::U64;
+    /**
+     * Canonical default text; empty means the parameter is required.
+     * `canonical()` omits parameters whose value equals the default.
+     */
+    std::string def;
+    std::string help; ///< one-liner for --list-mappers
+    /** Optional extra validation; throws std::invalid_argument. */
+    std::function<void(const std::string &value)> validate;
+};
+
+/** A registered mapper family. */
+struct MapperFamily
+{
+    std::string name;    ///< registry key, [a-z0-9_]+
+    std::string summary; ///< one-liner for --list-mappers
+
+    /**
+     * True for searched mappers (sbim/gbim) that are built by the
+     * search service from workload profiles; `makeMapper` throws for
+     * them and the harness routes through `search::` instead.
+     */
+    bool needsProfiles = false;
+
+    /**
+     * Seed-stream tag mixed with the user seed into the family's RNG
+     * (see `mapperSeed`). Built-in families keep their legacy enum
+     * ordinal so their BIM draws are bit-identical to the seed's
+     * `makeScheme`; new families pick any unused value.
+     */
+    std::uint64_t seedTag = 0;
+
+    std::vector<MapperParamSpec> params;
+
+    /**
+     * Display name of the built mapper — `AddressMapper::name()`,
+     * which lands in `RunResult::scheme` and the figure columns. Must
+     * contain no whitespace and none of `,;|%` (it is embedded in
+     * space-separated result rows and '|'-separated journal lines).
+     */
+    std::function<std::string(const ResolvedMapperSpec &)> displayName;
+
+    /**
+     * Build the family's BIM. `rng` is pre-seeded from (seedTag,
+     * effective seed); deterministic families simply never draw.
+     * Absent for needsProfiles families.
+     */
+    std::function<BitMatrix(const ResolvedMapperSpec &,
+                            const AddressLayout &layout,
+                            XorShiftRng &rng)>
+        build;
+};
+
+/**
+ * A mapper spec validated against its family's schema: every
+ * parameter resolved to canonical text (defaults filled in).
+ */
+class ResolvedMapperSpec
+{
+  public:
+    ResolvedMapperSpec(const MapperFamily *family,
+                       std::vector<std::string> values)
+        : family_(family), values_(std::move(values))
+    {
+    }
+
+    const MapperFamily &family() const { return *family_; }
+
+    /** Canonical value of a schema parameter (must exist). */
+    const std::string &value(const std::string &key) const;
+
+    /** `value(key)` parsed as u64 (parameter must be U64-kind). */
+    std::uint64_t u64(const std::string &key) const;
+
+    /**
+     * Canonical spec string: `map:family[,key=value]...` with
+     * default-valued parameters omitted, remaining ones in schema
+     * order. Equal mappers print equal strings; this is the cache
+     * identity.
+     */
+    std::string canonical() const;
+
+    /** FNV-1a 64 of `canonical()` — the stable short identity. */
+    std::uint64_t hash() const;
+
+  private:
+    const MapperFamily *family_;
+    std::vector<std::string> values_; ///< schema order, canonical text
+};
+
+/**
+ * Register a family. Throws `std::invalid_argument` on a duplicate
+ * or malformed name, a malformed parameter schema, or a missing
+ * build function (unless `needsProfiles`). Thread-safe; handles
+ * returned by `findMapperFamily` stay valid across registrations.
+ */
+void registerMapper(MapperFamily family);
+
+/** All registered families, registration order. */
+std::vector<const MapperFamily *> mapperFamilies();
+
+/** Find a family by name; nullptr if unknown. */
+const MapperFamily *findMapperFamily(const std::string &name);
+
+/**
+ * Parse + schema-validate a spec string. Throws
+ * `std::invalid_argument` on grammar errors, an unknown family (the
+ * diagnostic lists every registered family), an unknown parameter
+ * key (diagnostic lists the family's keys), a missing required
+ * parameter, or a value failing its kind/validator.
+ */
+ResolvedMapperSpec resolveMapperSpec(const std::string &spec);
+
+/** Shorthand for `resolveMapperSpec(spec).canonical()`. */
+std::string canonicalMapperSpec(const std::string &spec);
+
+/**
+ * RNG seed stream of a family: mixes the family's `seedTag` with the
+ * user seed exactly like the seed's `schemeSeed`, so built-in
+ * families reproduce the legacy BIM draws bit-for-bit.
+ */
+std::uint64_t mapperSeed(const MapperFamily &family, std::uint64_t seed);
+
+/**
+ * Build a mapper from a spec string.
+ *
+ * @param seed BIM instantiation seed, used when the family draws
+ *             randomness and the spec does not pin `seed=` itself
+ *             ("BIM-1..3" in Fig. 19 are seeds 1..3).
+ * @throws std::invalid_argument on any resolve error, or for
+ *         needsProfiles families (route those through `search::`).
+ */
+std::unique_ptr<AddressMapper> makeMapper(const std::string &spec,
+                                          const AddressLayout &layout,
+                                          std::uint64_t seed = 1);
+
+/** Canonical registry spec of a legacy enum scheme. */
+std::string schemeSpec(Scheme s);
+
+namespace detail {
+
+/**
+ * No-op defined in builtin_mappers.cc; calling it forces that TU
+ * into the link so its self-registrations run (static-archive
+ * stripping guard — a data anchor would be constant-folded away,
+ * an out-of-line call cannot be without LTO).
+ */
+void linkBuiltinMappers();
+
+/** Load-time registration helper for VALLEY_REGISTER_MAPPER. */
+bool registerMapperAtLoad(MapperFamily family);
+
+} // namespace detail
+} // namespace mapping
+} // namespace valley
+
+#define VALLEY_MAPPER_CONCAT_INNER(a, b) a##b
+#define VALLEY_MAPPER_CONCAT(a, b) VALLEY_MAPPER_CONCAT_INNER(a, b)
+
+/** Self-register a MapperFamily at program load. */
+#define VALLEY_REGISTER_MAPPER(family_expr)                                \
+    static const bool VALLEY_MAPPER_CONCAT(valley_mapper_registered_,      \
+                                           __COUNTER__) =                  \
+        ::valley::mapping::detail::registerMapperAtLoad((family_expr))
+
+#endif // VALLEY_MAPPING_MAPPER_REGISTRY_HH

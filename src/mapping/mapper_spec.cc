@@ -1,0 +1,103 @@
+#include "mapping/mapper_spec.hh"
+
+#include <cctype>
+#include <cstring>
+#include <stdexcept>
+
+namespace valley {
+namespace mapping {
+
+namespace {
+
+[[noreturn]] void
+parseError(const std::string &text, const std::string &why)
+{
+    throw std::invalid_argument("bad mapper spec '" + text + "': " +
+                                why);
+}
+
+bool
+validKey(const std::string &k)
+{
+    if (k.empty())
+        return false;
+    for (char c : k)
+        if (!(std::islower(static_cast<unsigned char>(c)) ||
+              std::isdigit(static_cast<unsigned char>(c)) || c == '_'))
+            return false;
+    return true;
+}
+
+} // namespace
+
+bool
+isMapperSpec(const std::string &name)
+{
+    return name.rfind(kMapperPrefix, 0) == 0;
+}
+
+MapperSpec
+MapperSpec::parse(const std::string &text)
+{
+    if (!isMapperSpec(text))
+        parseError(text, "missing 'map:' prefix");
+
+    MapperSpec spec;
+    const std::string body = text.substr(std::strlen(kMapperPrefix));
+
+    // Split on ',' — the grammar has no escaping; values cannot
+    // contain commas.
+    std::vector<std::string> fields;
+    std::size_t pos = 0;
+    while (pos <= body.size()) {
+        const std::size_t comma = body.find(',', pos);
+        if (comma == std::string::npos) {
+            fields.push_back(body.substr(pos));
+            break;
+        }
+        fields.push_back(body.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+
+    spec.family = fields.front();
+    if (!validKey(spec.family))
+        parseError(text, "bad family name '" + fields.front() + "'");
+
+    for (std::size_t i = 1; i < fields.size(); ++i) {
+        const std::string &f = fields[i];
+        const std::size_t eq = f.find('=');
+        if (eq == std::string::npos)
+            parseError(text, "parameter '" + f + "' has no '='");
+        const std::string key = f.substr(0, eq);
+        const std::string value = f.substr(eq + 1);
+        if (!validKey(key))
+            parseError(text, "bad parameter key '" + key + "'");
+        if (value.empty())
+            parseError(text, "parameter '" + key + "' has no value");
+        if (spec.find(key))
+            parseError(text, "duplicate parameter '" + key + "'");
+        spec.params.emplace_back(key, value);
+    }
+    return spec;
+}
+
+std::string
+MapperSpec::print() const
+{
+    std::string out = std::string(kMapperPrefix) + family;
+    for (const auto &[k, v] : params)
+        out += "," + k + "=" + v;
+    return out;
+}
+
+const std::string *
+MapperSpec::find(const std::string &key) const
+{
+    for (const auto &[k, v] : params)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+} // namespace mapping
+} // namespace valley

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Spec strings for the pluggable address-mapper registry.
+ *
+ * A mapper is named by a spec string
+ *
+ *     map:FAMILY[,key=value]...
+ *
+ * e.g. `map:perm,order=RoCoBaCh` or `map:pae,seed=3`. `MapperSpec`
+ * is the raw parse of such a string: the family name plus the
+ * key=value pairs exactly as written. Validation against a family's
+ * parameter schema — defaults, canonical formatting, the stable hash
+ * the on-disk caches key on — happens in `mapper_registry.hh`'s
+ * `ResolvedMapperSpec`, so the parser stays grammar-only.
+ *
+ * The grammar deliberately mirrors the `synth:` workload grammar
+ * (`synth/spec.hh`): no whitespace, keys are [a-z0-9_]+, values are
+ * anything up to the next ','.
+ *
+ *     spec  := "map:" family ("," param)*
+ *     param := key "=" value
+ */
+
+#ifndef VALLEY_MAPPING_MAPPER_SPEC_HH
+#define VALLEY_MAPPING_MAPPER_SPEC_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace valley {
+namespace mapping {
+
+/** Prefix marking a name as a mapper spec. */
+inline constexpr const char *kMapperPrefix = "map:";
+
+/** True iff `name` is a `map:` spec string (by prefix). */
+bool isMapperSpec(const std::string &name);
+
+/** Raw parse of one mapper spec (grammar only, no schema checks). */
+struct MapperSpec
+{
+    std::string family;
+    /** key=value pairs in written order; duplicate keys rejected. */
+    std::vector<std::pair<std::string, std::string>> params;
+
+    /**
+     * Parse a spec string. Throws `std::invalid_argument` on a
+     * missing prefix, empty family, malformed parameter (no '=',
+     * empty key/value, bad key characters) or duplicate key.
+     */
+    static MapperSpec parse(const std::string &text);
+
+    /** Re-print as written: `map:family,k=v,...`. */
+    std::string print() const;
+
+    /** Value of `key`, or nullptr if absent. */
+    const std::string *find(const std::string &key) const;
+};
+
+} // namespace mapping
+} // namespace valley
+
+#endif // VALLEY_MAPPING_MAPPER_SPEC_HH

@@ -14,7 +14,9 @@ namespace search {
 
 // m2: checksummed record lines (atomic_io.hh) + memberWeights in the
 // key — pre-checksum epochs are skipped as stale on load.
-const char *kSbimCacheVersion = "m2";
+// m3: mapper-registry epoch (layout presets become first-class cache
+// identities); pre-registry lines load as stale.
+const char *kSbimCacheVersion = "m3";
 
 std::string
 sbimCachePath()

@@ -19,6 +19,7 @@
 #include "harness/experiment.hh"
 #include "harness/grid_journal.hh"
 #include "harness/result_cache.hh"
+#include "mapping/layout_registry.hh"
 
 using namespace valley;
 using namespace valley::harness;
@@ -182,6 +183,81 @@ TEST_F(GridJournalTest, InterruptedParallelGridResumesBitIdentically)
 
     const Grid resumed = runGrid(gridOptions(true, 4));
     expectBitIdentical(reference, resumed);
+}
+
+TEST_F(GridJournalTest, SpecAxisIdentitiesAreEscapedInTheJournal)
+{
+    // Mapper specs and synth specs both carry commas; the journal's
+    // cell keys must percent-escape them (and carry the v5 schema and
+    // the layout identity) so no two cells can alias.
+    GridOptions o;
+    o.workloads = {"synth:hash_shuffle,fmb=64,tbs=32"};
+    o.mappers = {"map:pae,seed=2"};
+    o.scale = 0.25;
+    o.useCache = false;
+    o.checkpoint = true;
+    o.threads = 1;
+    const Grid first = runGrid(o);
+
+    std::string journal;
+    for (const auto &e : std::filesystem::directory_iterator(dir))
+        if (e.path().filename().string().rfind("grid_journal_", 0) ==
+            0)
+            journal = e.path().string();
+    ASSERT_FALSE(journal.empty());
+
+    std::ifstream in(journal);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    // The cell key (everything before the payload separator) must
+    // carry the v5 schema, escaped separators and the first-class
+    // layout identity. The payload keeps raw field text — its only
+    // reserved characters are '|' and newlines.
+    const std::string key = line.substr(0, line.find('|'));
+    EXPECT_EQ(key.rfind(std::string(kResultCacheVersion) + ";", 0),
+              0u)
+        << key;
+    EXPECT_NE(key.find("%2C"), std::string::npos) << key;
+    EXPECT_EQ(key.find("map:pae,seed"), std::string::npos)
+        << "raw spec comma must be escaped: " << key;
+    EXPECT_EQ(key.find(",fmb"), std::string::npos) << key;
+    EXPECT_NE(key.find("layout:gddr5_1gb"), std::string::npos)
+        << key;
+
+    // And the escaped identity round-trips: a rerun resumes the cell
+    // bit-identically instead of missing its own journal entry.
+    const Grid resumed = runGrid(o);
+    EXPECT_EQ(resumed.report().resumed, 1u);
+    EXPECT_EQ(
+        serializeResult(first.at(o.workloads[0], "map:pae,seed=2")),
+        serializeResult(
+            resumed.at(o.workloads[0], "map:pae,seed=02")));
+}
+
+TEST_F(GridJournalTest, DistinctLayoutPresetsKeepDistinctJournals)
+{
+    // The layout identity is part of the grid identity: the same
+    // workloads x mappers grid on two presets must journal into two
+    // files (and so can resume independently).
+    GridOptions o;
+    o.workloads = {"synth:strided"};
+    o.mappers = {"map:base"};
+    o.scale = 0.25;
+    o.useCache = false;
+    o.checkpoint = true;
+    o.threads = 1;
+    runGrid(o); // gddr5_1gb baseline
+
+    GridOptions o2 = o;
+    o2.config.layout = mapping::makeLayout("hbm2_4gb");
+    runGrid(o2);
+
+    std::size_t journals = 0;
+    for (const auto &e : std::filesystem::directory_iterator(dir))
+        if (e.path().filename().string().rfind("grid_journal_", 0) ==
+            0)
+            ++journals;
+    EXPECT_EQ(journals, 2u);
 }
 
 TEST_F(GridJournalTest, EnvVarEnablesCheckpointing)

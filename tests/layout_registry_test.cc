@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the declarative layout registry
+ * (`mapping/layout_registry`): the presets derive bit-for-bit the
+ * legacy hard-coded layouts, organizations are validated, unknown
+ * keys diagnose with the registered list, and every preset is a
+ * well-formed partition of its address space.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "mapping/address_layout.hh"
+#include "mapping/layout_registry.hh"
+
+using namespace valley;
+using mapping::DramOrganization;
+using mapping::FieldKind;
+using mapping::OrgField;
+
+namespace {
+
+/** Exception message of a throwing callable (fails if it returns). */
+template <typename Fn>
+std::string
+errorOf(Fn &&fn)
+{
+    try {
+        fn();
+    } catch (const std::invalid_argument &e) {
+        return e.what();
+    }
+    ADD_FAILURE() << "expected std::invalid_argument";
+    return "";
+}
+
+void
+expectField(const BitField &f, unsigned lo, unsigned width,
+            const char *what)
+{
+    EXPECT_EQ(f.lo, lo) << what;
+    EXPECT_EQ(f.width, width) << what;
+}
+
+} // namespace
+
+TEST(LayoutRegistry, Gddr5PresetMatchesThePaperFig4Positions)
+{
+    // The positions the seed hard-coded from the paper's text: the
+    // BASE valley covers channel bits 8-9 and bank bit 10; RMP's
+    // donors are bits 8-11, 15 and 16.
+    const AddressLayout l = mapping::makeLayout("gddr5_1gb");
+    EXPECT_EQ(l.addrBits, 30u);
+    expectField(l.block, 0, 6, "block");
+    expectField(l.colLo, 6, 2, "colLo");
+    expectField(l.channel, 8, 2, "channel");
+    expectField(l.bank, 10, 4, "bank");
+    expectField(l.colHi, 14, 4, "colHi");
+    expectField(l.row, 18, 12, "row");
+    EXPECT_EQ(l.vault.width, 0u);
+    EXPECT_EQ(l.spec, "layout:gddr5_1gb");
+}
+
+TEST(LayoutRegistry, Stacked3dPresetMatchesTheLegacyConstructor)
+{
+    const AddressLayout l = mapping::makeLayout("stacked3d_4gb");
+    EXPECT_EQ(l.addrBits, 32u);
+    expectField(l.block, 0, 6, "block");
+    expectField(l.colLo, 6, 2, "colLo");
+    expectField(l.channel, 8, 2, "channel (stack select)");
+    expectField(l.vault, 10, 4, "vault");
+    expectField(l.bank, 14, 4, "bank");
+    expectField(l.colHi, 18, 4, "colHi");
+    expectField(l.row, 22, 10, "row");
+}
+
+TEST(LayoutRegistry, LegacyConstructorsDelegateToThePresets)
+{
+    // hynixGddr5/stacked3d and the registry can never drift: they ARE
+    // the presets now.
+    const AddressLayout a = AddressLayout::hynixGddr5();
+    const AddressLayout b = mapping::makeLayout("layout:gddr5_1gb");
+    EXPECT_EQ(a.spec, b.spec);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.addrBits, b.addrBits);
+    EXPECT_EQ(a.row.lo, b.row.lo);
+    EXPECT_EQ(AddressLayout::stacked3d().spec,
+              "layout:stacked3d_4gb");
+}
+
+TEST(LayoutRegistry, EveryPresetPartitionsItsAddressSpace)
+{
+    // Structural invariant of any registered organization: the fields
+    // tile [0, addrBits) exactly — pairwise disjoint, jointly
+    // covering.
+    for (const DramOrganization *org : mapping::layoutPresets()) {
+        const AddressLayout l = mapping::makeLayout(org->key);
+        std::uint64_t seen = 0;
+        for (const BitField *f :
+             {&l.block, &l.colLo, &l.channel, &l.vault, &l.bank,
+              &l.colHi, &l.row}) {
+            const std::uint64_t m = f->positionMask();
+            EXPECT_EQ(seen & m, 0u) << org->key << ": overlap";
+            seen |= m;
+        }
+        ASSERT_LT(l.addrBits, 64u);
+        EXPECT_EQ(seen, (std::uint64_t{1} << l.addrBits) - 1)
+            << org->key << ": fields must cover the address";
+        EXPECT_GE(l.channel.width + l.vault.width, 1u) << org->key;
+        EXPECT_GE(l.bank.width, 1u) << org->key;
+        EXPECT_EQ(l.spec, "layout:" + org->key);
+        EXPECT_EQ(mapping::layoutIdentity(l), l.spec);
+    }
+    // The new hardware axes of this PR are all present.
+    for (const char *key :
+         {"gddr5_1gb", "stacked3d_4gb", "hbm2_4gb", "ddr4_4gb",
+          "gddr6_2gb"})
+        EXPECT_NE(mapping::findLayoutPreset(key), nullptr) << key;
+}
+
+TEST(LayoutRegistry, SpecAndBareKeySpellAreEquivalent)
+{
+    EXPECT_EQ(mapping::canonicalLayoutSpec("hbm2_4gb"),
+              "layout:hbm2_4gb");
+    EXPECT_EQ(mapping::canonicalLayoutSpec("layout:hbm2_4gb"),
+              "layout:hbm2_4gb");
+    const AddressLayout a = mapping::makeLayout("hbm2_4gb");
+    const AddressLayout b = mapping::makeLayout("layout:hbm2_4gb");
+    EXPECT_EQ(a.spec, b.spec);
+    EXPECT_EQ(a.addrBits, b.addrBits);
+}
+
+TEST(LayoutRegistry, UnknownKeyDiagnosticListsRegisteredKeys)
+{
+    const std::string msg =
+        errorOf([] { mapping::makeLayout("nosuch"); });
+    EXPECT_NE(msg.find("nosuch"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("registered layouts"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("gddr5_1gb"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("hbm2_4gb"), std::string::npos) << msg;
+}
+
+TEST(LayoutRegistry, DuplicateKeyIsRejected)
+{
+    DramOrganization dup;
+    dup.key = "gddr5_1gb";
+    dup.displayName = "imposter";
+    dup.summary = "duplicate";
+    dup.fields = {{FieldKind::Block, 6},
+                  {FieldKind::Channel, 2},
+                  {FieldKind::Bank, 4},
+                  {FieldKind::Row, 12}};
+    const std::string msg = errorOf(
+        [&] { mapping::registerLayout(dup); });
+    EXPECT_NE(msg.find("gddr5_1gb"), std::string::npos) << msg;
+    // The original preset is untouched.
+    EXPECT_EQ(mapping::findLayoutPreset("gddr5_1gb")->displayName,
+              "Hynix GDDR5 1GB");
+}
+
+TEST(LayoutRegistry, MalformedOrganizationsAreRejected)
+{
+    const auto org = [](std::vector<OrgField> fields) {
+        DramOrganization o;
+        o.key = "zzbadorg";
+        o.displayName = "bad";
+        o.summary = "bad";
+        o.fields = std::move(fields);
+        return o;
+    };
+    // Missing Row.
+    EXPECT_THROW(mapping::layoutFromOrganization(
+                     org({{FieldKind::Block, 6},
+                          {FieldKind::Channel, 2},
+                          {FieldKind::Bank, 4}})),
+                 std::invalid_argument);
+    // Duplicate Channel.
+    EXPECT_THROW(mapping::layoutFromOrganization(
+                     org({{FieldKind::Block, 6},
+                          {FieldKind::Channel, 2},
+                          {FieldKind::Channel, 2},
+                          {FieldKind::Bank, 4},
+                          {FieldKind::Row, 12}})),
+                 std::invalid_argument);
+    // Zero-width field.
+    EXPECT_THROW(mapping::layoutFromOrganization(
+                     org({{FieldKind::Block, 0},
+                          {FieldKind::Channel, 2},
+                          {FieldKind::Bank, 4},
+                          {FieldKind::Row, 12}})),
+                 std::invalid_argument);
+}
+
+TEST(LayoutRegistry, HandAssembledLayoutsKeyOnTheirName)
+{
+    // A layout built without the registry has no spec; its cache
+    // identity falls back to the (escaped) free-form name.
+    AddressLayout l = AddressLayout::hynixGddr5();
+    l.spec.clear();
+    l.name = "custom,layout";
+    EXPECT_EQ(mapping::layoutIdentity(l), "custom%2Clayout");
+}

@@ -19,6 +19,8 @@
 #include "dram/memory_controller.hh"
 #include "entropy/window_entropy.hh"
 #include "mapping/address_mapper.hh"
+#include "mapping/layout_registry.hh"
+#include "mapping/mapper_registry.hh"
 #include "noc/crossbar.hh"
 
 using namespace valley;
@@ -88,6 +90,49 @@ TEST_P(SchemeSeeds, CompositionOfInvertiblesIsInvertible)
     for (int i = 0; i < 100; ++i) {
         const Addr x = rng.next() & bits::mask(30);
         EXPECT_EQ(prod.apply(x), a->map(b->map(x)));
+    }
+}
+
+// --- Registry mappers x layout presets -----------------------------------
+
+TEST_P(SchemeSeeds, EveryRegisteredMapperInvertsOnEveryLayoutPreset)
+{
+    // For each buildable registered family on each layout preset:
+    // random address batches must map one-to-one (decode via the
+    // inverse recovers the address), stay inside the address space,
+    // and decode to in-range channel/bank/row coordinates.
+    for (const auto *org : mapping::layoutPresets()) {
+        const AddressLayout l = mapping::makeLayout(org->key);
+        const std::uint64_t mask =
+            (std::uint64_t{1} << l.addrBits) - 1;
+        for (const auto *f : mapping::mapperFamilies()) {
+            if (f->needsProfiles)
+                continue; // searched families: covered by the oracle
+            std::string spec = "map:" + f->name;
+            if (f->name == "perm")
+                // order must name exactly the layout's fields.
+                spec += l.vault.width ? ",order=RoCoBaVaCh"
+                                      : ",order=RoCoBaCh";
+            const auto m =
+                mapping::makeMapper(spec, l, GetParam());
+            ASSERT_TRUE(m->matrix().invertible())
+                << org->key << " " << spec;
+            const auto inv = m->matrix().inverse();
+            ASSERT_TRUE(inv.has_value());
+            XorShiftRng rng(GetParam() * 17 + 5);
+            for (int i = 0; i < 200; ++i) {
+                const Addr a = rng.next() & mask;
+                const Addr mapped = m->map(a);
+                EXPECT_EQ(mapped & ~mask, 0u)
+                    << org->key << " " << spec;
+                EXPECT_EQ(inv->apply(mapped), a);
+                const DramCoord c = m->coordOf(a);
+                EXPECT_LT(c.channel, l.numChannels());
+                EXPECT_LT(c.bank, l.numBanksPerChannel());
+                EXPECT_LT(c.row, l.numRows());
+                EXPECT_LT(c.column, l.numColumns());
+            }
+        }
     }
 }
 

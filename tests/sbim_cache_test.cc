@@ -14,8 +14,11 @@
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <set>
 #include <unistd.h>
 
+#include "harness/atomic_io.hh"
+#include "mapping/layout_registry.hh"
 #include "search/sbim_cache.hh"
 #include "search/searched_bim.hh"
 #include "workloads/workload.hh"
@@ -187,6 +190,56 @@ TEST_F(SbimCacheTest, CommaSpecSearchHitsItsOwnCacheLine)
         std::istreambuf_iterator<char>(in),
         std::istreambuf_iterator<char>(), '\n');
     EXPECT_EQ(lines, 1) << "warm call must hit, not append";
+}
+
+TEST_F(SbimCacheTest, PreRegistryEpochLinesLoadAsStaleNotCorrupt)
+{
+    // The mapper-registry PR bumped the schema to m3: an m2-era line
+    // must be skipped as *stale* on load — never returned as a hit,
+    // never quarantined as corrupt (older binaries may still read
+    // it) — while current m3 lines load normally.
+    ASSERT_STREQ(search::kSbimCacheVersion, "m3");
+    const AddressLayout layout = AddressLayout::hynixGddr5();
+    const search::SearchOptions base = search::defaultOptions(layout);
+    const std::string cur =
+        search::sbimCacheKey("MT", 0.25, layout.name, base);
+    ASSERT_EQ(cur.rfind("m3;", 0), 0u) << cur;
+
+    search::sbimCacheStore(cur, sampleResult());
+    const std::string old = "m2" + cur.substr(2);
+    ASSERT_TRUE(harness::atomicAppend(
+        search::sbimCachePath(),
+        harness::checksummedRecord(old, "pre-registry payload")));
+
+    search::sbimCacheResetForTesting();
+    const std::uint64_t quarantined_before =
+        harness::quarantinedLineCount();
+    EXPECT_FALSE(search::sbimCacheLookup(old).has_value());
+    EXPECT_TRUE(search::sbimCacheLookup(cur).has_value());
+    EXPECT_EQ(harness::quarantinedLineCount(), quarantined_before);
+
+    // The stale line was preserved in place, not moved aside.
+    std::ifstream in(search::sbimCachePath());
+    const std::string contents(std::istreambuf_iterator<char>(in),
+                               std::istreambuf_iterator<char>{});
+    EXPECT_NE(contents.find("m2;"), std::string::npos);
+}
+
+TEST_F(SbimCacheTest, LayoutPresetsKeyDistinctSearches)
+{
+    // Every layout preset names a distinct search space: the same
+    // workload must never share a searched matrix across presets.
+    const search::SearchOptions base = search::defaultOptions(
+        mapping::makeLayout("gddr5_1gb"));
+    std::set<std::string> keys;
+    for (const char *preset :
+         {"gddr5_1gb", "stacked3d_4gb", "hbm2_4gb", "ddr4_4gb",
+          "gddr6_2gb"}) {
+        const AddressLayout l = mapping::makeLayout(preset);
+        keys.insert(
+            search::sbimCacheKey("MT", 0.25, l.name, base));
+    }
+    EXPECT_EQ(keys.size(), 5u);
 }
 
 TEST_F(SbimCacheTest, SearchedMapperHitMatchesSearchedMapperMiss)

@@ -33,6 +33,8 @@
 #include "harness/result_cache.hh"
 #include "harness/supervisor.hh"
 #include "mapping/address_mapper.hh"
+#include "mapping/layout_registry.hh"
+#include "mapping/mapper_registry.hh"
 
 using namespace valley;
 
@@ -55,8 +57,16 @@ Options:
                     (MT, LU, GS, NW, LPS, SC, SRAD2, DWT2D, HS, SP,
                     FWT, NN, SPMV, LM, MUM, BFS) and/or
                     synth:FAMILY[,key=value...] specs; required
-  --schemes S,S     comma-separated schemes: BASE, PM, RMP, PAE, FAE,
-                    ALL, SBIM, GBIM; default all six paper schemes
+  --schemes S,S     comma-separated mappings: legacy scheme names
+                    (BASE, PM, RMP, PAE, FAE, ALL, SBIM, GBIM) and/or
+                    map:FAMILY[,key=value...] registry specs (see
+                    valley_search --list-mappers; spec key=value
+                    parameters attach to the preceding map: entry);
+                    default all six paper schemes
+  --layouts L,L     comma-separated DRAM layout presets, each a key
+                    or layout: spec (see valley_search
+                    --list-layouts); the grid runs once per layout;
+                    default: the gddr5_1gb baseline
   --scale S         problem-size scale in (0, 1]; default 0.25
   --seed N          BIM seed (the "BIM-N" of Fig. 19); default 1
   --threads N       worker threads (0 = all cores, 1 = serial);
@@ -78,8 +88,9 @@ Options:
   --report          write the ranked cache/grid_report_<id>.json
                     outcome artifact
   --out FILE        write per-cell results (workload|scheme|payload
-                    lines, grid order) — byte-identical across runs
-                    that computed the same cells
+                    lines, grid order; with --layouts a leading
+                    layout| field is prepended) — byte-identical
+                    across runs that computed the same cells
   --progress        log per-cell progress to stderr
   --supervise       run the grid as a supervised child process:
                     crashes (signals, _Exit) restart it with resume
@@ -141,17 +152,36 @@ splitList(const std::string &s)
     return out;
 }
 
-Scheme
-parseScheme(const std::string &name)
+/**
+ * One --schemes token to a canonical mapper spec: a `map:` spec is
+ * schema-validated as-is, anything else must be a legacy scheme name.
+ */
+std::string
+parseMapper(const std::string &name)
 {
+    try {
+        if (mapping::isMapperSpec(name))
+            return mapping::canonicalMapperSpec(name);
+    } catch (const std::exception &e) {
+        usageError(e.what()); // lists the registered families
+    }
     static const Scheme all[] = {Scheme::BASE, Scheme::PM,
                                  Scheme::RMP,  Scheme::PAE,
                                  Scheme::FAE,  Scheme::ALL,
                                  Scheme::SBIM, Scheme::GBIM};
     for (Scheme s : all)
         if (schemeName(s) == name)
-            return s;
+            return mapping::schemeSpec(s);
     usageError("unknown scheme: " + name);
+}
+
+/** Display label of a canonical spec (the --out scheme column). */
+std::string
+mapperLabel(const std::string &spec)
+{
+    const mapping::ResolvedMapperSpec r =
+        mapping::resolveMapperSpec(spec);
+    return r.family().displayName(r);
 }
 
 /** Our own executable, for the supervised re-exec. */
@@ -189,9 +219,10 @@ runChild(CliOptions cli)
     std::signal(SIGTERM, onSignal);
     cli.grid.cancel = &g_token;
 
-    harness::Grid grid = [&] {
+    const bool multi_layout = !cli.grid.layouts.empty();
+    const std::vector<harness::LayoutGrid> grids = [&] {
         try {
-            return harness::runGrid(cli.grid);
+            return harness::runGrids(cli.grid);
         } catch (const std::exception &e) {
             std::fprintf(stderr, "valley_grid: grid failed: %s\n",
                          e.what());
@@ -202,27 +233,37 @@ runChild(CliOptions cli)
     if (!cli.out.empty()) {
         // Grid order is fixed by the options, so two runs that
         // computed the same cells emit byte-identical files — the
-        // comparison artifact of the CI supervisor drill.
+        // comparison artifact of the CI supervisor drill. Without
+        // --layouts the format is the legacy 3-field one.
         std::ofstream out(cli.out);
         if (!out)
             usageError("cannot write --out file: " + cli.out);
-        const auto &opts = grid.options();
-        for (const auto &w : opts.workloads)
-            for (Scheme s : opts.schemes)
-                out << w << '|' << schemeName(s) << '|'
-                    << harness::serializeResult(grid.at(w, s))
-                    << '\n';
+        for (const harness::LayoutGrid &lg : grids) {
+            const auto &opts = lg.grid.options();
+            for (const auto &w : opts.workloads)
+                for (const auto &m : opts.mappers) {
+                    if (multi_layout)
+                        out << lg.layout << '|';
+                    out << w << '|' << mapperLabel(m) << '|'
+                        << harness::serializeResult(lg.grid.at(w, m))
+                        << '\n';
+                }
+        }
     }
 
-    const harness::GridReport &report = grid.report();
-    std::printf("grid %s: %zu cells — %zu ok, %zu resumed, %zu "
-                "retried, %zu poisoned, %zu deadline-missed\n",
-                report.gridId.c_str(), report.cells.size(), report.ok,
-                report.resumed, report.retried, report.poisoned,
-                report.deadlineMissed);
+    bool degraded = false;
+    for (const harness::LayoutGrid &lg : grids) {
+        const harness::GridReport &report = lg.grid.report();
+        std::printf("grid %s: %zu cells — %zu ok, %zu resumed, %zu "
+                    "retried, %zu poisoned, %zu deadline-missed\n",
+                    report.gridId.c_str(), report.cells.size(),
+                    report.ok, report.resumed, report.retried,
+                    report.poisoned, report.deadlineMissed);
+        degraded = degraded || report.degraded();
+    }
     if (g_interrupted)
         return 130;
-    return report.degraded() ? 4 : 0;
+    return degraded ? 4 : 0;
 }
 
 } // namespace
@@ -255,9 +296,34 @@ main(int argc, char **argv)
             cli.grid.workloads = splitList(need(i, "--workloads"));
         } else if (arg == "--schemes") {
             cli.grid.schemes.clear();
+            cli.grid.mappers.clear();
+            // A key=value token attaches to the preceding map: spec
+            // (same list grammar as valley_search --set for synth:
+            // members) — the spec's own commas were just split.
+            std::vector<std::string> merged;
             for (const std::string &s :
-                 splitList(need(i, "--schemes")))
-                cli.grid.schemes.push_back(parseScheme(s));
+                 splitList(need(i, "--schemes"))) {
+                if (!merged.empty() &&
+                    mapping::isMapperSpec(merged.back()) &&
+                    !mapping::isMapperSpec(s) &&
+                    s.find('=') != std::string::npos)
+                    merged.back() += "," + s;
+                else
+                    merged.push_back(s);
+            }
+            for (const std::string &s : merged)
+                cli.grid.mappers.push_back(parseMapper(s));
+        } else if (arg == "--layouts") {
+            cli.grid.layouts.clear();
+            for (const std::string &l :
+                 splitList(need(i, "--layouts"))) {
+                try {
+                    cli.grid.layouts.push_back(
+                        mapping::canonicalLayoutSpec(l));
+                } catch (const std::exception &e) {
+                    usageError(e.what()); // lists registered presets
+                }
+            }
         } else if (arg == "--scale") {
             cli.grid.scale = std::atof(need(i, "--scale"));
         } else if (arg == "--seed") {
@@ -308,7 +374,7 @@ main(int argc, char **argv)
 
     if (cli.grid.workloads.empty())
         usageError("--workloads is required");
-    if (cli.grid.schemes.empty())
+    if (cli.grid.schemes.empty() && cli.grid.mappers.empty())
         usageError("--schemes must name at least one scheme");
     if (!(cli.grid.scale > 0.0) || cli.grid.scale > 1.0)
         usageError("--scale must be in (0, 1]");

@@ -38,6 +38,8 @@
 
 #include "bim/compiled_transform.hh"
 #include "common/table.hh"
+#include "mapping/layout_registry.hh"
+#include "mapping/mapper_registry.hh"
 #include "search/searched_bim.hh"
 #include "synth/registry.hh"
 #include "workloads/workload.hh"
@@ -77,8 +79,14 @@ Options:
                   each weight must be > 0. Requires --set; ignored
                   by --combine worst. Default: uniform
   --list          print the known workloads and synth families, exit
+  --list-mappers  print the registered map: mapper families with
+                  their parameters, exit
+  --list-layouts  print the registered layout: presets, exit
   --scale S       problem-size scale in (0, 1]; default 0.25
-  --layout L      DRAM layout: gddr5 (default) or 3d
+  --layout L      DRAM layout preset: a key or layout: spec from
+                  --list-layouts (e.g. gddr5_1gb, layout:hbm2_4gb);
+                  the aliases gddr5 (default) and 3d name the
+                  gddr5_1gb and stacked3d_4gb presets
   --seed N        search seed (the "BIM-N" of Fig. 19); default 1
   --restarts N    annealing restarts; default 4
   --iters N       moves per restart; default 1200
@@ -111,8 +119,10 @@ struct CliOptions
     std::string weights;
     std::string out;
     double scale = 0.25;
-    bool use3d = false;
+    std::string layout = "gddr5";
     bool list = false;
+    bool listMappers = false;
+    bool listLayouts = false;
     search::SearchOptions search;
 };
 
@@ -122,6 +132,48 @@ usageError(const std::string &msg)
     std::fprintf(stderr, "valley_search: %s\n(try --help)\n",
                  msg.c_str());
     std::exit(1);
+}
+
+/** Resolve --layout: a registry key/spec, or a legacy alias. */
+AddressLayout
+resolveLayout(const std::string &l)
+{
+    std::string key = l;
+    if (l == "gddr5")
+        key = "gddr5_1gb";
+    else if (l == "3d")
+        key = "stacked3d_4gb";
+    try {
+        return mapping::makeLayout(key);
+    } catch (const std::exception &e) {
+        usageError(e.what()); // lists the registered presets
+    }
+}
+
+/** --list-mappers: every registered family with its schema. */
+void
+listMappers()
+{
+    for (const auto *f : mapping::mapperFamilies()) {
+        std::printf("map:%-6s %s%s\n", f->name.c_str(),
+                    f->summary.c_str(),
+                    f->needsProfiles
+                        ? " [profile-driven: built by the search]"
+                        : "");
+        for (const auto &p : f->params)
+            std::printf("    %s=%s  %s\n", p.key.c_str(),
+                        p.def.empty() ? "<required>" : p.def.c_str(),
+                        p.help.c_str());
+    }
+}
+
+/** --list-layouts: every registered DRAM organization preset. */
+void
+listLayouts()
+{
+    for (const auto *org : mapping::layoutPresets())
+        std::printf("layout:%-14s %s — %s\n", org->key.c_str(),
+                    org->displayName.c_str(), org->summary.c_str());
 }
 
 CliOptions
@@ -140,6 +192,10 @@ parseArgs(int argc, char **argv)
             std::exit(0);
         } else if (a == "--list") {
             o.list = true;
+        } else if (a == "--list-mappers") {
+            o.listMappers = true;
+        } else if (a == "--list-layouts") {
+            o.listLayouts = true;
         } else if (a == "--workload") {
             o.workload = need(i, "--workload");
         } else if (a == "--set") {
@@ -159,13 +215,7 @@ parseArgs(int argc, char **argv)
             if (o.scale <= 0.0 || o.scale > 1.0)
                 usageError("--scale must be in (0, 1]");
         } else if (a == "--layout") {
-            const std::string l = need(i, "--layout");
-            if (l == "gddr5")
-                o.use3d = false;
-            else if (l == "3d")
-                o.use3d = true;
-            else
-                usageError("--layout must be gddr5 or 3d");
+            o.layout = need(i, "--layout");
         } else if (a == "--seed") {
             o.search.seed = std::strtoull(
                 need(i, "--seed").c_str(), nullptr, 10);
@@ -263,6 +313,7 @@ writeJsonTail(std::ofstream &out, const search::SetSearchResult &r)
  */
 bool
 writeJson(const std::string &path, const CliOptions &o,
+          const AddressLayout &layout,
           const workloads::WorkloadSet &set,
           const search::SearchOptions &so,
           const search::SetSearchResult &r)
@@ -288,7 +339,7 @@ writeJson(const std::string &path, const CliOptions &o,
             out << "],\n";
         }
     }
-    out << "  \"layout\": \"" << (o.use3d ? "3d" : "gddr5")
+    out << "  \"layout\": \"" << mapping::layoutIdentity(layout)
         << "\",\n";
     out << "  \"scale\": " << o.scale << ",\n";
     out << "  \"seed\": " << so.seed << ",\n";
@@ -368,6 +419,13 @@ main(int argc, char **argv)
             std::printf("synth:%s\n", f.name.c_str());
         return 0;
     }
+    if (o.listMappers || o.listLayouts) {
+        if (o.listMappers)
+            listMappers();
+        if (o.listLayouts)
+            listLayouts();
+        return 0;
+    }
     if (o.workload.empty() && o.set.empty())
         usageError("--workload or --set is required");
     if (!o.workload.empty() && !o.set.empty())
@@ -411,9 +469,7 @@ main(int argc, char **argv)
     } catch (const std::exception &e) {
         usageError(e.what());
     }
-    const AddressLayout layout = o.use3d
-                                     ? AddressLayout::stacked3d()
-                                     : AddressLayout::hynixGddr5();
+    const AddressLayout layout = resolveLayout(o.layout);
 
     search::SearchOptions so = o.search;
     so.targets = layout.randomizeTargets();
@@ -426,7 +482,8 @@ main(int argc, char **argv)
               : set->members()[0];
     std::printf("valley_search: %s (%s, scale %.3g, seed %" PRIu64
                 ", %u restarts x %u iters%s)\n\n",
-                label.c_str(), o.use3d ? "3d" : "gddr5", o.scale,
+                label.c_str(),
+                mapping::layoutIdentity(layout).c_str(), o.scale,
                 so.seed, so.restarts, so.iterations,
                 joint ? (std::string(", combine ") +
                          search::combinerName(so.combiner))
@@ -497,7 +554,7 @@ main(int argc, char **argv)
     printSearchStats(r.annealed);
 
     if (!o.out.empty()) {
-        if (!writeJson(o.out, o, *set, so, r)) {
+        if (!writeJson(o.out, o, layout, *set, so, r)) {
             std::fprintf(stderr, "valley_search: cannot write %s\n",
                          o.out.c_str());
             return 1;
