@@ -83,6 +83,18 @@ class JsonEmitter
         field(key, std::string(v));
     }
 
+    /**
+     * Embed a pre-rendered JSON value verbatim (e.g. the metrics
+     * registry snapshot, itself a nested object). The caller is
+     * responsible for `json` being valid JSON; render it at nesting
+     * depth 1 if it is multiline, so the indentation lines up.
+     */
+    void
+    rawField(const std::string &key, std::string json)
+    {
+        fields.emplace_back(key, std::move(json));
+    }
+
     void
     write() const
     {

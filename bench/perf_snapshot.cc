@@ -31,6 +31,7 @@
 
 #include "bench_util.hh"
 #include "common/bitops.hh"
+#include "common/metrics.hh"
 #include "common/rng.hh"
 #include "common/thread_pool.hh"
 #include "entropy/sliced_bvr.hh"
@@ -384,6 +385,12 @@ main()
                           jr.stats.annealSeconds);
         search_json.field("joint_polish_seconds",
                           jr.stats.polishSeconds);
+        search_json.field("joint_setup_evaluations",
+                          jr.stats.setupEvaluations);
+        search_json.field("joint_anneal_evaluations",
+                          jr.stats.annealEvaluations);
+        search_json.field("joint_polish_evaluations",
+                          jr.stats.polishEvaluations);
         search_json.field("joint_deterministic", joint_ok);
         std::printf("joint search (%zu members): independent %.3fs, "
                     "joint %.3fs (%.2fx), deterministic=%s\n\n",
@@ -432,6 +439,10 @@ main()
                     parallel_sec > 0.0 ? serial_sec / parallel_sec
                                        : 0.0);
     grid_json.field("results_identical", identical);
+    // Internal attribution for the perf trajectory: the process-wide
+    // metrics snapshot (cache hit/miss, per-phase search evals,
+    // steal/submit counts) accumulated across every section above.
+    grid_json.rawField("metrics", metrics::snapshotJson(1));
 
     std::printf("grid: %zu cells, serial %.2fs, parallel %.2fs "
                 "(%u threads on %u-core host), identical=%s\n",

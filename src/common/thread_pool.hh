@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "common/cancellation.hh"
+#include "common/metrics.hh"
 
 namespace valley {
 
@@ -138,6 +139,11 @@ class ThreadPool
             d.tasks.push_back(std::move(staged[i]));
         }
         staged.clear();
+        // Process-wide mirror of the per-pool tally: every pool's
+        // rounds aggregate into one registry counter for snapshots.
+        static metrics::Counter &submitted =
+            metrics::counter("thread_pool.tasks");
+        submitted.add(count);
         // Published by the release store of `unclaimed` below; read
         // by workers only after their acquire CAS on a ticket, so no
         // worker of THIS round can observe the previous round's token.
@@ -225,6 +231,12 @@ class ThreadPool
                 out = std::move(victim.tasks.front());
                 victim.tasks.pop_front();
                 steals.fetch_add(1, std::memory_order_relaxed);
+                // Per-pool count (stealCount()) and process-wide
+                // registry counter bump at the same site: one event,
+                // two views, no second source of truth.
+                static metrics::Counter &stolen =
+                    metrics::counter("thread_pool.steals");
+                stolen.inc();
                 return true;
             }
         }

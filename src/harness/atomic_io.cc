@@ -14,6 +14,7 @@
 
 #include "common/fault_inject.hh"
 #include "common/fnv.hh"
+#include "common/metrics.hh"
 #include "harness/result_cache.hh"
 
 namespace valley {
@@ -21,7 +22,18 @@ namespace harness {
 
 namespace {
 
-std::atomic<std::uint64_t> quarantined_total{0};
+/**
+ * The quarantine tally lives in the metrics registry — one source of
+ * truth shared with `--metrics` snapshots; `quarantinedLineCount()`
+ * delegates to it.
+ */
+metrics::Counter &
+quarantinedCounter()
+{
+    static metrics::Counter &c =
+        metrics::counter("cache.quarantined_lines");
+    return c;
+}
 
 void
 ensureParentDir(const std::string &path)
@@ -363,20 +375,21 @@ loadChecksummedRecords(
             good += '\n';
         }
         atomicWriteFile(path, good);
-        quarantined_total.fetch_add(bad.size(),
-                                    std::memory_order_relaxed);
+        quarantinedCounter().add(bad.size());
         std::fprintf(stderr,
                      "[valley] %s: quarantined %zu corrupt line(s) "
                      "-> %s (recomputed on next use)\n",
                      base.c_str(), bad.size(), qpath.c_str());
     }
+    if (stats.staleVersion != 0)
+        metrics::counter("cache.stale_lines").add(stats.staleVersion);
     return stats;
 }
 
 std::uint64_t
 quarantinedLineCount()
 {
-    return quarantined_total.load(std::memory_order_relaxed);
+    return quarantinedCounter().value();
 }
 
 } // namespace harness

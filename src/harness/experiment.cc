@@ -12,8 +12,10 @@
 #include <thread>
 
 #include "common/fault_inject.hh"
+#include "common/metrics.hh"
 #include "common/stats.hh"
 #include "common/thread_pool.hh"
+#include "common/trace_span.hh"
 #include "harness/atomic_io.hh"
 #include "harness/grid_journal.hh"
 #include "harness/result_cache.hh"
@@ -476,6 +478,18 @@ runGrid(GridOptions opts)
     std::atomic<std::size_t> cells_done{0};
     std::atomic<std::size_t> cells_resumed{0};
 
+    // Registry mirrors of the progress counters above: one source of
+    // truth per event site (each atomic bump below has exactly one
+    // matching registry bump), exported via --metrics / grid_report.
+    metrics::Counter &m_done = metrics::counter("grid.cells_done");
+    metrics::Counter &m_resumed =
+        metrics::counter("grid.cells_resumed");
+    metrics::Counter &m_retried = metrics::counter("grid.cells_retried");
+    metrics::Counter &m_retries = metrics::counter("grid.cell_retries");
+    metrics::Counter &m_poisoned =
+        metrics::counter("grid.cells_poisoned");
+    metrics::Histogram &m_cell_us = metrics::histogram("grid.cell_us");
+
     // Per-cell outcome slots for the report: like `results`, each
     // cell writes only its own entry, so no lock is needed.
     std::vector<CellStatus> status(cells, CellStatus::NotRun);
@@ -486,6 +500,10 @@ runGrid(GridOptions opts)
         const std::string &w = opts.workloads[wi];
         const MapperAxisEntry &m = axis[si];
         const std::size_t idx = wi * axis.size() + si;
+        trace::Span cell_span(
+            trace::enabled() ? "cell " + w + "/" + m.label
+                             : std::string(),
+            "grid");
         const std::string key =
             (checkpoint || opts.useCache)
                 ? cellCacheKey(opts.config, m.spec, w, opts.bimSeed,
@@ -500,6 +518,8 @@ runGrid(GridOptions opts)
                 status[idx] = CellStatus::Resumed;
                 cells_resumed.fetch_add(1,
                                         std::memory_order_relaxed);
+                m_resumed.inc();
+                m_done.inc();
                 const std::size_t d = cells_done.fetch_add(1) + 1;
                 if (opts.progress)
                     std::fprintf(stderr,
@@ -515,6 +535,8 @@ runGrid(GridOptions opts)
                 // cell costs one skip per sweep, not a fresh crash.
                 status[idx] = CellStatus::Poisoned;
                 fail_reason[idx] = pit->second;
+                m_poisoned.inc();
+                m_done.inc();
                 cells_done.fetch_add(1);
                 if (opts.progress)
                     std::fprintf(stderr,
@@ -535,6 +557,7 @@ runGrid(GridOptions opts)
             std::fprintf(stderr, "[grid] %-6s %-5s %s...\n", w.c_str(),
                          m.label.c_str(),
                          opts.config.name.c_str());
+        metrics::ScopedTimer cell_timer(m_cell_us);
         for (unsigned attempt = 1;; ++attempt) {
             attempts_used[idx] = attempt;
             try {
@@ -573,11 +596,16 @@ runGrid(GridOptions opts)
                 }
                 if (checkpoint)
                     journal->record(key, results[wi][si]);
-                status[idx] = attempt > 1 ? CellStatus::Retried
-                                          : CellStatus::Ok;
+                if (attempt > 1) {
+                    status[idx] = CellStatus::Retried;
+                    m_retried.inc();
+                } else {
+                    status[idx] = CellStatus::Ok;
+                }
                 break;
             } catch (const std::exception &e) {
                 if (attempt < max_attempts && !token.cancelled()) {
+                    m_retries.inc();
                     // Deterministic exponential backoff: delays only,
                     // never feeds into any computed result.
                     if (opts.retryBackoffMs != 0)
@@ -603,6 +631,7 @@ runGrid(GridOptions opts)
                 if (checkpoint)
                     journal->recordPoisoned(key, e.what());
                 status[idx] = CellStatus::Poisoned;
+                m_poisoned.inc();
                 fail_reason[idx] = e.what();
                 if (opts.progress)
                     std::fprintf(stderr,
@@ -613,6 +642,7 @@ runGrid(GridOptions opts)
                 break;
             }
         }
+        m_done.inc();
         const std::size_t d = cells_done.fetch_add(1) + 1;
         if (opts.progress)
             std::fprintf(stderr, "[grid] %zu/%zu cells done\n", d,
@@ -662,6 +692,11 @@ runGrid(GridOptions opts)
             report.cells.push_back(std::move(c));
         }
     report.finalize();
+    if (report.deadlineMissed != 0)
+        metrics::counter("grid.cells_deadline_missed")
+            .add(report.deadlineMissed);
+    if (report.deadlineHit)
+        metrics::counter("grid.deadline_hits").inc();
     if (opts.report && !report.write())
         std::fprintf(stderr, "[grid] warning: failed to write %s\n",
                      GridReport::pathFor(report.gridId).c_str());

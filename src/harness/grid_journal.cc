@@ -4,6 +4,8 @@
 
 #include "common/fault_inject.hh"
 #include "common/fnv.hh"
+#include "common/metrics.hh"
+#include "common/trace_span.hh"
 #include "harness/atomic_io.hh"
 #include "harness/result_cache.hh"
 #include "workloads/workload_set.hh"
@@ -78,6 +80,7 @@ GridJournal::load() const
 JournalContents
 GridJournal::loadAll() const
 {
+    trace::Span span("journal.load", "cache");
     JournalContents out;
     // Cell keys are result-cache keys, so the journal shares the
     // cache's version prefix: a journal written before a schema bump
@@ -105,6 +108,9 @@ GridJournal::loadAll() const
     // completed a cell an earlier run poisoned.
     for (const auto &[key, r] : out.cells)
         out.poisoned.erase(key);
+    metrics::counter("journal.cells_loaded").add(out.cells.size());
+    metrics::counter("journal.poisoned_loaded")
+        .add(out.poisoned.size());
     return out;
 }
 
@@ -113,6 +119,7 @@ GridJournal::record(const std::string &cell_key,
                     const RunResult &r) const
 {
     fault::maybeInject("journal_append");
+    metrics::counter("journal.cells_recorded").inc();
     return atomicAppend(path_,
                         checksummedRecord(cell_key, serializeResult(r)));
 }
@@ -122,6 +129,7 @@ GridJournal::recordPoisoned(const std::string &cell_key,
                             const std::string &reason) const
 {
     fault::maybeInject("journal_append");
+    metrics::counter("journal.poisoned_recorded").inc();
     return atomicAppend(
         path_,
         checksummedRecord(cell_key,

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/metrics.hh"
 #include "harness/atomic_io.hh"
 #include "harness/result_cache.hh"
 
@@ -160,7 +161,10 @@ GridReport::toJson() const
             out << ", \"reason\": \"" << jsonEscape(c.reason) << "\"";
         out << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
     }
-    out << "  ]\n";
+    out << "  ],\n";
+    // Registry snapshot at report time: correlates the per-cell
+    // outcomes above with process-wide cache/pool/search counters.
+    out << "  \"metrics\": " << metrics::snapshotJson(1) << "\n";
     out << "}\n";
     return out.str();
 }

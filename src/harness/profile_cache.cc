@@ -5,6 +5,8 @@
 #include <mutex>
 #include <sstream>
 
+#include "common/metrics.hh"
+#include "common/trace_span.hh"
 #include "harness/atomic_io.hh"
 #include "harness/result_cache.hh"
 
@@ -120,12 +122,19 @@ profileCacheLookup(const std::string &key)
 {
     if (!cacheEnabled())
         return std::nullopt;
+    static metrics::Histogram &lookup_us =
+        metrics::histogram("cache.profile.lookup_us");
+    metrics::ScopedTimer timer(lookup_us);
+    trace::Span span("profile_cache.lookup", "cache");
     loadOnce();
     Shard &shard = shardFor(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
     const auto it = shard.entries.find(key);
-    if (it == shard.entries.end())
+    if (it == shard.entries.end()) {
+        metrics::counter("cache.profile.misses").inc();
         return std::nullopt;
+    }
+    metrics::counter("cache.profile.hits").inc();
     return it->second;
 }
 
@@ -135,6 +144,7 @@ profileCacheStore(const std::string &key, const EntropyProfile &p)
     if (!cacheEnabled())
         return;
     loadOnce();
+    metrics::counter("cache.profile.stores").inc();
     {
         Shard &shard = shardFor(key);
         std::lock_guard<std::mutex> lock(shard.mutex);

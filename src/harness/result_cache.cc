@@ -6,6 +6,8 @@
 #include <mutex>
 #include <sstream>
 
+#include "common/metrics.hh"
+#include "common/trace_span.hh"
 #include "harness/atomic_io.hh"
 
 namespace valley {
@@ -153,12 +155,19 @@ cacheLookup(const std::string &key)
 {
     if (!cacheEnabled())
         return std::nullopt;
+    static metrics::Histogram &lookup_us =
+        metrics::histogram("cache.result.lookup_us");
+    metrics::ScopedTimer timer(lookup_us);
+    trace::Span span("result_cache.lookup", "cache");
     loadOnce();
     CacheShard &shard = shardFor(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
     const auto it = shard.entries.find(key);
-    if (it == shard.entries.end())
+    if (it == shard.entries.end()) {
+        metrics::counter("cache.result.misses").inc();
         return std::nullopt;
+    }
+    metrics::counter("cache.result.hits").inc();
     return it->second;
 }
 
@@ -168,6 +177,7 @@ cacheStore(const std::string &key, const RunResult &r)
     if (!cacheEnabled())
         return;
     loadOnce();
+    metrics::counter("cache.result.stores").inc();
     {
         CacheShard &shard = shardFor(key);
         std::lock_guard<std::mutex> lock(shard.mutex);

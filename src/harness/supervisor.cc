@@ -11,6 +11,9 @@
 #include <cstdio>
 #include <thread>
 
+#include "common/metrics.hh"
+#include "common/trace_span.hh"
+
 namespace valley {
 namespace harness {
 
@@ -98,6 +101,8 @@ supervise(const std::vector<std::string> &child_argv,
             return out;
         }
         ++out.restarts;
+        metrics::counter("supervisor.restarts").inc();
+        trace::instant("supervisor_restart", "supervisor");
         if (opts.log)
             std::fprintf(stderr,
                          "[supervise] child %s %d; restarting "

@@ -9,8 +9,10 @@
 
 #include "common/bitops.hh"
 #include "common/fault_inject.hh"
+#include "common/metrics.hh"
 #include "common/rng.hh"
 #include "common/thread_pool.hh"
+#include "common/trace_span.hh"
 
 namespace valley {
 namespace search {
@@ -76,6 +78,34 @@ double
 secondsSince(Clock::time_point start)
 {
     return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/**
+ * Mirror one finished search's aggregate stats into the registry —
+ * per-phase evals and microseconds as counters (accumulating across
+ * searches in the process), so a --metrics snapshot can derive
+ * per-phase evals/sec without access to the SearchResult.
+ */
+void
+exportStatsToRegistry(const SearchStats &s)
+{
+    const auto us = [](double seconds) {
+        return seconds > 0.0
+                   ? static_cast<std::uint64_t>(seconds * 1e6)
+                   : 0;
+    };
+    metrics::counter("search.evaluations").add(s.evaluations);
+    metrics::counter("search.evals_setup").add(s.setupEvaluations);
+    metrics::counter("search.evals_anneal").add(s.annealEvaluations);
+    metrics::counter("search.evals_polish").add(s.polishEvaluations);
+    metrics::counter("search.setup_us").add(us(s.setupSeconds));
+    metrics::counter("search.anneal_us").add(us(s.annealSeconds));
+    metrics::counter("search.polish_us").add(us(s.polishSeconds));
+    metrics::counter("search.total_us").add(us(s.totalSeconds));
+    if (s.deadlineHit)
+        metrics::counter("search.deadline_hits").inc();
+    if (s.capped)
+        metrics::counter("search.capped").inc();
 }
 
 } // namespace
@@ -203,11 +233,20 @@ BimSearch::runChain(unsigned restart, bool greedy) const
         c.cost = objective.combine(c.memberCost);
     };
 
+    const std::string span_tag =
+        trace::enabled() ? (greedy ? std::string(" greedy#")
+                                   : std::string(" chain#")) +
+                               std::to_string(restart)
+                         : std::string();
+
     // Start state: restart 0 (and the greedy baseline) start from the
     // identity, so any accepted move yields a strict improvement over
     // BASE; later restarts start from a random invertible draw for
     // diversity (randomBroad-style rejection sampling).
     auto phase_start = Clock::now();
+    trace::Span setup_span(trace::enabled() ? "setup" + span_tag
+                                            : std::string(),
+                           "search");
     Chain cur;
     cur.rows.resize(nt);
     for (std::size_t i = 0; i < nt; ++i)
@@ -233,7 +272,9 @@ BimSearch::runChain(unsigned restart, bool greedy) const
     }
     finishChain(cur);
     Chain best = cur;
+    setup_span.end();
     stats.setupSeconds = secondsSince(phase_start);
+    stats.setupEvaluations = stats.evaluations;
 
     const unsigned iters = opts.iterations;
     const double t0 = std::max(opts.initialTemp, 1e-12);
@@ -362,6 +403,9 @@ BimSearch::runChain(unsigned restart, bool greedy) const
     // Annealing phase: geometric cooling from t0 to tf (the greedy
     // baseline runs the same steps at temperature 0 throughout).
     phase_start = Clock::now();
+    trace::Span anneal_span(trace::enabled() ? "anneal" + span_tag
+                                             : std::string(),
+                            "search");
     for (unsigned k = 0; k < iters; ++k) {
         if (stopRequested())
             break;
@@ -375,7 +419,10 @@ BimSearch::runChain(unsigned restart, bool greedy) const
                                        : 0.0);
         step(temp);
     }
+    anneal_span.end();
     stats.annealSeconds = secondsSince(phase_start);
+    stats.annealEvaluations =
+        stats.evaluations - stats.setupEvaluations;
 
     // Zero-temperature polish: descend from the chain's best state.
     // The gate regularizer is finer-grained than any practical final
@@ -383,6 +430,9 @@ BimSearch::runChain(unsigned restart, bool greedy) const
     // that still accepts gate-increasing wiggles and return a best
     // that a plain descent would improve.
     phase_start = Clock::now();
+    trace::Span polish_span(trace::enabled() ? "polish" + span_tag
+                                             : std::string(),
+                            "search");
     if (!greedy) {
         cur = best;
         for (unsigned k = 0; k < iters / 3 + 1; ++k) {
@@ -392,7 +442,11 @@ BimSearch::runChain(unsigned restart, bool greedy) const
             step(0.0);
         }
     }
+    polish_span.end();
     stats.polishSeconds = secondsSince(phase_start);
+    stats.polishEvaluations = stats.evaluations -
+                              stats.setupEvaluations -
+                              stats.annealEvaluations;
 
     SearchResult result;
     BitMatrix m = BitMatrix::identity(nbits);
@@ -469,10 +523,14 @@ BimSearch::anneal() const
         total.setupSeconds += s.stats.setupSeconds;
         total.annealSeconds += s.stats.annealSeconds;
         total.polishSeconds += s.stats.polishSeconds;
+        total.setupEvaluations += s.stats.setupEvaluations;
+        total.annealEvaluations += s.stats.annealEvaluations;
+        total.polishEvaluations += s.stats.polishEvaluations;
     }
     out.stats = total;
     out.identityCost = identityCost();
     out.stats.totalSeconds = secondsSince(wall_start);
+    exportStatsToRegistry(out.stats);
     return out;
 }
 
@@ -483,6 +541,7 @@ BimSearch::greedy() const
     SearchResult out = runChain(0, /*greedy=*/true);
     out.identityCost = identityCost();
     out.stats.totalSeconds = secondsSince(wall_start);
+    exportStatsToRegistry(out.stats);
     return out;
 }
 

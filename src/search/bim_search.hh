@@ -190,6 +190,16 @@ struct SearchStats
     double annealSeconds = 0.0; ///< cooling-phase move loop
     double polishSeconds = 0.0; ///< zero-temperature descent
     double totalSeconds = 0.0;  ///< wall clock of the whole call
+
+    /**
+     * `evaluations` split by the phase that spent them (they sum to
+     * `evaluations`), so per-phase evals/sec can pair with the
+     * per-phase seconds above instead of dividing a global count by
+     * a single phase's wall clock.
+     */
+    std::uint64_t setupEvaluations = 0;
+    std::uint64_t annealEvaluations = 0;
+    std::uint64_t polishEvaluations = 0;
 };
 
 /** Outcome of `BimSearch::anneal` or `BimSearch::greedy`. */

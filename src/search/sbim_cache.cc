@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/metrics.hh"
+#include "common/trace_span.hh"
 #include "harness/atomic_io.hh"
 #include "harness/result_cache.hh"
 
@@ -167,11 +169,18 @@ sbimCacheLookup(const std::string &key)
 {
     if (!harness::cacheEnabled())
         return std::nullopt;
+    static metrics::Histogram &lookup_us =
+        metrics::histogram("cache.sbim.lookup_us");
+    metrics::ScopedTimer timer(lookup_us);
+    trace::Span span("sbim_cache.lookup", "cache");
     std::lock_guard<std::mutex> lock(mutex);
     loadOnceLocked();
     const auto it = cache.find(key);
-    if (it == cache.end())
+    if (it == cache.end()) {
+        metrics::counter("cache.sbim.misses").inc();
         return std::nullopt;
+    }
+    metrics::counter("cache.sbim.hits").inc();
     return it->second;
 }
 
@@ -191,6 +200,7 @@ sbimCacheStore(const std::string &key, const SearchResult &r)
             "escape fields with workloads::escapeSpecField");
     if (!harness::cacheEnabled())
         return;
+    metrics::counter("cache.sbim.stores").inc();
     std::lock_guard<std::mutex> lock(mutex);
     loadOnceLocked();
     CachedSearch c;

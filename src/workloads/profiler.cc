@@ -1,8 +1,11 @@
 #include "workloads/profiler.hh"
 
 #include <numeric>
+#include <string>
 
+#include "common/metrics.hh"
 #include "common/thread_pool.hh"
+#include "common/trace_span.hh"
 #include "entropy/sliced_bvr.hh"
 
 namespace valley {
@@ -78,6 +81,12 @@ profileKernels(std::span<const Kernel> kernels,
         // pool path the throw propagates to the caller via run().
         if (opts.cancel)
             opts.cancel->check("profileWorkload cancelled");
+        trace::Span span(trace::enabled()
+                             ? "kernel#" + std::to_string(ki) +
+                                   " tb[" + std::to_string(lo) + "," +
+                                   std::to_string(hi) + ")"
+                             : std::string(),
+                         "profiler");
         for (TbId tb = lo; tb < hi; ++tb)
             accumulateTb(kernels[ki], tb, opts, ct, bvrs[ki][tb],
                          counts[ki][tb]);
@@ -86,6 +95,12 @@ profileKernels(std::span<const Kernel> kernels,
     const auto profileOne = [&](std::size_t ki) {
         if (opts.cancel)
             opts.cancel->check("profileWorkload cancelled");
+        trace::Span span(trace::enabled()
+                             ? "kernel#" + std::to_string(ki) +
+                                   " profile"
+                             : std::string(),
+                         "profiler");
+        metrics::counter("profiler.kernels_profiled").inc();
         // Summed in TB order — integer, hence order-independent, but
         // kept ordered for clarity.
         const std::uint64_t requests = std::accumulate(
@@ -132,6 +147,10 @@ profileKernel(const Kernel &kernel, const ProfileOptions &opts)
 EntropyProfile
 profileWorkload(const Workload &workload, const ProfileOptions &opts)
 {
+    trace::Span span(trace::enabled()
+                         ? "profile " + workload.info().abbrev
+                         : std::string(),
+                     "profiler");
     return EntropyProfile::combine(
         profileKernels(workload.kernels(), opts));
 }

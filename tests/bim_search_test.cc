@@ -209,6 +209,35 @@ TEST(BimSearch, ParallelRestartsBitIdenticalToSerial)
     EXPECT_EQ(a.stats.accepted, b.stats.accepted);
 }
 
+TEST(BimSearch, PhaseEvaluationCountsSumToTotal)
+{
+    // SearchStats breaks the evaluation budget down per phase; the
+    // three phase counts must partition the global count exactly, and
+    // each phase that runs must have done real work.
+    PlanesFixture s("MT");
+    const AddressLayout layout = gddr5();
+    SearchOptions opts = defaultOptions(layout);
+    opts.threads = 1;
+    opts.restarts = 2;
+    opts.iterations = 300;
+    const BimSearch searcher(layout, *s.planes,
+                             defaultObjective(layout), opts);
+
+    const SearchResult annealed = searcher.anneal();
+    EXPECT_EQ(annealed.stats.setupEvaluations +
+                  annealed.stats.annealEvaluations +
+                  annealed.stats.polishEvaluations,
+              annealed.stats.evaluations);
+    EXPECT_GT(annealed.stats.setupEvaluations, 0u);
+    EXPECT_GT(annealed.stats.annealEvaluations, 0u);
+
+    const SearchResult greedy = searcher.greedy();
+    EXPECT_EQ(greedy.stats.setupEvaluations +
+                  greedy.stats.annealEvaluations +
+                  greedy.stats.polishEvaluations,
+              greedy.stats.evaluations);
+}
+
 TEST(BimSearch, StrictlyBeatsIdentityOnValleyWorkloads)
 {
     // The acceptance criterion: on entropy-valley workloads both the

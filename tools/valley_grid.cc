@@ -28,6 +28,8 @@
 #include <vector>
 
 #include "common/cancellation.hh"
+#include "common/metrics.hh"
+#include "common/trace_span.hh"
 #include "harness/experiment.hh"
 #include "harness/grid_journal.hh"
 #include "harness/result_cache.hh"
@@ -86,7 +88,17 @@ Options:
                     deadline-missed (VALLEY_DEADLINE_MS does the
                     same); default 0 = unlimited
   --report          write the ranked cache/grid_report_<id>.json
-                    outcome artifact
+                    outcome artifact (includes a metrics snapshot)
+  --cache           memoize finished cells in the on-disk result
+                    cache and reuse matching cells from prior runs
+                    (VALLEY_CACHE=0 still disables all caches)
+  --trace FILE      record Chrome trace-event spans (grid cells,
+                    search phases, cache lookups) and write them to
+                    FILE — loadable in Perfetto / chrome://tracing
+                    (VALLEY_TRACE=FILE does the same)
+  --metrics FILE    write the metrics-registry snapshot (counters,
+                    gauges, latency histograms) to FILE as stable,
+                    diffable JSON
   --out FILE        write per-cell results (workload|scheme|payload
                     lines, grid order; with --layouts a leading
                     layout| field is prepended) — byte-identical
@@ -106,6 +118,7 @@ Environment:
   VALLEY_CACHE_DIR=D    cache directory (default: ./cache)
   VALLEY_CHECKPOINT=1   same as --checkpoint
   VALLEY_DEADLINE_MS=N  same as --deadline-ms N
+  VALLEY_TRACE=FILE     same as --trace FILE
   VALLEY_FAULT_INJECT=site:N[:throw|:kill][:every=K]
                         deterministic fault injection (CI drills)
 
@@ -119,6 +132,8 @@ struct CliOptions
 {
     harness::GridOptions grid;
     std::string out;
+    std::string tracePath;
+    std::string metricsPath;
     bool supervise = false;
     unsigned maxRestarts = 16;
     unsigned restartBackoffMs = 100;
@@ -218,6 +233,8 @@ runChild(CliOptions cli)
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
     cli.grid.cancel = &g_token;
+    if (!cli.tracePath.empty())
+        trace::enable(cli.tracePath);
 
     const bool multi_layout = !cli.grid.layouts.empty();
     const std::vector<harness::LayoutGrid> grids = [&] {
@@ -261,6 +278,17 @@ runChild(CliOptions cli)
                     report.poisoned, report.deadlineMissed);
         degraded = degraded || report.degraded();
     }
+    // Observability artifacts are written on every exit path —
+    // including the interrupted one, where a partial trace is the
+    // most useful kind.
+    if (trace::enabled() && !trace::flush())
+        std::fprintf(stderr,
+                     "valley_grid: warning: failed to write trace\n");
+    if (!cli.metricsPath.empty() &&
+        !metrics::writeSnapshotFile(cli.metricsPath))
+        std::fprintf(stderr,
+                     "valley_grid: warning: failed to write %s\n",
+                     cli.metricsPath.c_str());
     if (g_interrupted)
         return 130;
     return degraded ? 4 : 0;
@@ -348,6 +376,12 @@ main(int argc, char **argv)
                 need(i, "--deadline-ms"), nullptr, 10);
         } else if (arg == "--report") {
             cli.grid.report = true;
+        } else if (arg == "--cache") {
+            cli.grid.useCache = true;
+        } else if (arg == "--trace") {
+            cli.tracePath = need(i, "--trace");
+        } else if (arg == "--metrics") {
+            cli.metricsPath = need(i, "--metrics");
         } else if (arg == "--out") {
             cli.out = need(i, "--out");
         } else if (arg == "--progress") {

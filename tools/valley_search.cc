@@ -37,7 +37,9 @@
 #include <vector>
 
 #include "bim/compiled_transform.hh"
+#include "common/metrics.hh"
 #include "common/table.hh"
+#include "common/trace_span.hh"
 #include "mapping/layout_registry.hh"
 #include "mapping/mapper_registry.hh"
 #include "search/searched_bim.hh"
@@ -100,11 +102,19 @@ Options:
   --out FILE      write the searched BIM as JSON (matrix rows, cost
                   breakdown, per-member entropy for sets, and the
                   compiled 8x256 LUT)
+  --trace FILE    record Chrome trace-event spans (search phases,
+                  profiling, cache lookups) and write them to FILE —
+                  loadable in Perfetto / chrome://tracing
+                  (VALLEY_TRACE=FILE does the same)
+  --metrics FILE  write the metrics-registry snapshot (counters,
+                  per-phase evals/seconds, cache hit/miss, latency
+                  histograms) to FILE as stable, diffable JSON
   --help          print this help and exit
 
 Environment:
   VALLEY_CACHE=0       disable the on-disk profile/result caches
   VALLEY_CACHE_DIR=D   cache directory (default: ./cache)
+  VALLEY_TRACE=FILE    same as --trace FILE
 
 Exit status: 0 if the searched BIM strictly beats the identity
 mapping's entropy-flatness objective (and, for --set, does not
@@ -118,6 +128,8 @@ struct CliOptions
     std::string set;
     std::string weights;
     std::string out;
+    std::string tracePath;
+    std::string metricsPath;
     double scale = 0.25;
     std::string layout = "gddr5";
     bool list = false;
@@ -246,6 +258,10 @@ parseArgs(int argc, char **argv)
                 std::atoi(need(i, "--threads").c_str()));
         } else if (a == "--out") {
             o.out = need(i, "--out");
+        } else if (a == "--trace") {
+            o.tracePath = need(i, "--trace");
+        } else if (a == "--metrics") {
+            o.metricsPath = need(i, "--metrics");
         } else {
             usageError("unknown option " + a);
         }
@@ -392,6 +408,10 @@ printSearchStats(const search::SearchResult &r)
                 "(chain-seconds; wall %.3fs)\n",
                 r.stats.setupSeconds, r.stats.annealSeconds,
                 r.stats.polishSeconds, r.stats.totalSeconds);
+    std::printf("phase evals: setup %" PRIu64 ", anneal %" PRIu64
+                ", polish %" PRIu64 "\n",
+                r.stats.setupEvaluations, r.stats.annealEvaluations,
+                r.stats.polishEvaluations);
 }
 
 /** Mean of `p.meanOver(targets)` across member profiles. */
@@ -470,6 +490,8 @@ main(int argc, char **argv)
         usageError(e.what());
     }
     const AddressLayout layout = resolveLayout(o.layout);
+    if (!o.tracePath.empty())
+        trace::enable(o.tracePath);
 
     search::SearchOptions so = o.search;
     so.targets = layout.randomizeTargets();
@@ -552,6 +574,15 @@ main(int argc, char **argv)
     std::printf("%s\n", t.toString().c_str());
 
     printSearchStats(r.annealed);
+
+    if (trace::enabled() && !trace::flush())
+        std::fprintf(stderr,
+                     "valley_search: warning: failed to write trace\n");
+    if (!o.metricsPath.empty() &&
+        !metrics::writeSnapshotFile(o.metricsPath))
+        std::fprintf(stderr,
+                     "valley_search: warning: failed to write %s\n",
+                     o.metricsPath.c_str());
 
     if (!o.out.empty()) {
         if (!writeJson(o.out, o, layout, *set, so, r)) {
