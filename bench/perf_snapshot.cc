@@ -13,10 +13,6 @@
  *    the reference vs incremental `windowEntropy`, and serial vs
  *    parallel `profileWorkload` wall-clock with a profile
  *    bit-identity check.
- *  - BENCH_search.json: one joint `BimSearch` over a 2-member
- *    workload set vs two independent per-member searches — wall
- *    clocks, the joint run's per-phase second breakdown, and a
- *    determinism re-check of the joint matrix.
  *  - BENCH_grid.json: serial vs parallel `harness::runGrid` on a
  *    6-cell grid, wall-clock seconds plus a bit-identity check of
  *    the two result sets.
@@ -24,6 +20,10 @@
  * Single-core hosts force the parallel legs onto 2 worker threads so
  * the recorded speedups exercise the thread-pool path instead of
  * degenerating into a second serial run.
+ *
+ * BENCH_search.json (evals/sec across the scalar/SIMD and
+ * oracle/cached scoring legs, plus the joint-vs-independent set
+ * comparison) is owned by `bench/search_throughput.cc`.
  */
 
 #include <chrono>
@@ -315,91 +315,6 @@ main()
                     profiles_identical ? "yes" : "NO");
     }
 
-    // ---- joint search vs N independent searches ---------------------------
-    bool joint_ok = true;
-    {
-        // The workload-set question: serving an N-member set used to
-        // mean N independent annealing runs (one matrix each); the
-        // joint search anneals ONE matrix against all members over
-        // their shared trace planes. Record both wall clocks plus the
-        // joint run's per-phase breakdown so the plane-sharing win
-        // lands in the perf trajectory.
-        bench::JsonEmitter search_json("BENCH_search.json");
-        const workloads::WorkloadSet jset(
-            {"synth:strided", "synth:stencil3d"});
-        const double jscale = 0.25;
-        search::SearchOptions so = search::defaultOptions(layout);
-        so.threads = 1;
-        so.restarts = 2;
-        so.iterations = 600;
-
-        const auto wls = jset.build(jscale);
-        std::vector<search::TracePlanes> planes;
-        planes.reserve(wls.size());
-        for (const auto &w : wls)
-            planes.emplace_back(
-                *w, search::PlaneOptions{layout.addrBits, 1});
-
-        auto start = Clock::now();
-        double independent_cost = 0.0;
-        for (const search::TracePlanes &p : planes) {
-            const search::BimSearch s(
-                layout, p, search::defaultObjective(layout, so.targets),
-                so);
-            independent_cost += s.anneal().cost;
-        }
-        const double independent_sec = secondsSince(start);
-
-        std::vector<const search::TracePlanes *> ptrs;
-        for (const search::TracePlanes &p : planes)
-            ptrs.push_back(&p);
-        const search::BimSearch js(
-            layout, ptrs,
-            search::defaultJointObjective(layout, so.targets,
-                                          search::JointCombiner::Mean),
-            so);
-        start = Clock::now();
-        const search::SearchResult jr = js.anneal();
-        const double joint_sec = secondsSince(start);
-        // Same seed, same planes: a second joint run must reproduce
-        // the exact matrix (the determinism contract of BimSearch).
-        joint_ok = js.anneal().bim == jr.bim;
-
-        search_json.field("set_members",
-                          static_cast<std::uint64_t>(jset.size()));
-        search_json.field("set_id", jset.shortId());
-        search_json.field("scale", jscale);
-        search_json.field("independent_seconds", independent_sec);
-        search_json.field("independent_cost_sum", independent_cost);
-        search_json.field("joint_seconds", joint_sec);
-        search_json.field("joint_cost", jr.cost);
-        search_json.field("joint_gain", jr.gain());
-        search_json.field("independent_over_joint_seconds",
-                          joint_sec > 0.0
-                              ? independent_sec / joint_sec
-                              : 0.0);
-        search_json.field("joint_evaluations", jr.stats.evaluations);
-        search_json.field("joint_setup_seconds",
-                          jr.stats.setupSeconds);
-        search_json.field("joint_anneal_seconds",
-                          jr.stats.annealSeconds);
-        search_json.field("joint_polish_seconds",
-                          jr.stats.polishSeconds);
-        search_json.field("joint_setup_evaluations",
-                          jr.stats.setupEvaluations);
-        search_json.field("joint_anneal_evaluations",
-                          jr.stats.annealEvaluations);
-        search_json.field("joint_polish_evaluations",
-                          jr.stats.polishEvaluations);
-        search_json.field("joint_deterministic", joint_ok);
-        std::printf("joint search (%zu members): independent %.3fs, "
-                    "joint %.3fs (%.2fx), deterministic=%s\n\n",
-                    jset.size(), independent_sec, joint_sec,
-                    joint_sec > 0.0 ? independent_sec / joint_sec
-                                    : 0.0,
-                    joint_ok ? "yes" : "NO");
-    }
-
     // ---- grid wall-clock -------------------------------------------------
     harness::GridOptions opts;
     opts.workloads = {"SC", "GS"};
@@ -449,5 +364,5 @@ main()
                 opts.workloads.size() * opts.schemes.size(), serial_sec,
                 parallel_sec, grid_threads, hw_threads,
                 identical ? "yes" : "NO");
-    return identical && profiler_ok && joint_ok ? 0 : 1;
+    return identical && profiler_ok ? 0 : 1;
 }

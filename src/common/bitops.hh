@@ -9,6 +9,7 @@
 
 #include <bit>
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 
 namespace valley {
@@ -112,9 +113,13 @@ transposeStage(std::uint64_t *rows, std::uint64_t mask)
  * matrix content. The entropy profiler uses it to turn 64 buffered
  * addresses into one 64-bit lane per address bit, which then
  * accumulate via `popcount` instead of a per-address bit walk.
+ *
+ * This is the scalar reference implementation — always available, and
+ * the oracle the SIMD variants are tested against. `transpose64`
+ * below routes through the runtime-dispatched kernel table.
  */
 inline void
-transpose64(std::uint64_t rows[64])
+transpose64Scalar(std::uint64_t rows[64])
 {
     transposeStage<32>(rows, 0x00000000FFFFFFFFull);
     transposeStage<16>(rows, 0x0000FFFF0000FFFFull);
@@ -122,6 +127,97 @@ transpose64(std::uint64_t rows[64])
     transposeStage<4>(rows, 0x0F0F0F0F0F0F0F0Full);
     transposeStage<2>(rows, 0x3333333333333333ull);
     transposeStage<1>(rows, 0x5555555555555555ull);
+}
+
+/**
+ * ## Runtime SIMD dispatch (common/simd.cc)
+ *
+ * The profiler's bit-sliced accumulator and the search's trace planes
+ * spend their time in exactly four word-level kernels: the 64x64
+ * transpose, bulk popcount, fused two-plane XOR+popcount, and N-plane
+ * XOR-combine+popcount. `SimdOps` is a function-pointer table with
+ * one implementation per ISA level; `simdOps()` resolves the widest
+ * level the CPU supports exactly once (thread-safe magic static, the
+ * std::once idiom) and every call after that is one indirect call.
+ *
+ * All levels produce bit-identical results — the kernels compute
+ * exact integer one-counts, so the choice of level can never change a
+ * profile, a search trajectory, or a cached artifact. `VALLEY_NO_SIMD=1`
+ * in the environment pins dispatch to the scalar table (read at first
+ * resolution); `scalarSimdOps()` is always available in-process as
+ * the test/bench oracle regardless of the environment.
+ */
+enum class SimdLevel
+{
+    Scalar = 0, ///< portable C++, no ISA assumptions
+    Avx2 = 1,   ///< 256-bit: AVX2 transpose + Mula popcount
+    Avx512 = 2, ///< 512-bit: AVX-512 transpose + VPOPCNTDQ kernels
+};
+
+/** Kernel table for one ISA level. All entries are non-null. */
+struct SimdOps
+{
+    SimdLevel level;
+    const char *name; ///< stable id: "scalar" / "avx2" / "avx512"
+
+    /** In-place 64x64 bit transpose (see `transpose64Scalar`). */
+    void (*transpose64)(std::uint64_t rows[64]);
+
+    /** Total popcount of `p[0..n)`. */
+    std::uint64_t (*popcountWords)(const std::uint64_t *p,
+                                   std::size_t n);
+
+    /**
+     * dst[i] = a[i] ^ b[i] for i in [0, n); returns the popcount of
+     * the combined words. `dst` may alias `a` or `b`. The fused
+     * "score one incremental plane move" kernel.
+     */
+    std::uint64_t (*xorPopcount2)(const std::uint64_t *a,
+                                  const std::uint64_t *b,
+                                  std::uint64_t *dst, std::size_t n);
+
+    /**
+     * XOR-combine `nsrc` equal-length word runs; returns the popcount
+     * of the combination and, when `dst` is non-null, stores it
+     * there. `nsrc == 0` means the all-zero plane (popcount 0, `dst`
+     * zero-filled). The "combine all tapped input planes" kernel.
+     */
+    std::uint64_t (*xorPopcountN)(const std::uint64_t *const *srcs,
+                                  std::size_t nsrc, std::uint64_t *dst,
+                                  std::size_t n);
+
+    /**
+     * dst[i] = a[i] ^ b[i] and counts[i] = popcount(dst[i]) for i in
+     * [0, n) — per-word one-counts instead of a total. `dst` may
+     * alias `a` or `b`. The "incremental move over a uniform
+     * one-word-per-TB kernel" kernel: each word is one TB's 64-request
+     * lane, so `counts` lands directly in the per-TB ones array.
+     */
+    void (*xorPopcountEach)(const std::uint64_t *a,
+                            const std::uint64_t *b, std::uint64_t *dst,
+                            std::uint64_t *counts, std::size_t n);
+};
+
+/**
+ * The dispatched kernel table: widest ISA level this CPU supports,
+ * resolved once on first use; `VALLEY_NO_SIMD=1` forces Scalar.
+ */
+const SimdOps &simdOps();
+
+/** The scalar oracle table, independent of dispatch and environment. */
+const SimdOps &scalarSimdOps();
+
+/**
+ * Table for an explicit level, or nullptr when this CPU (or build)
+ * cannot run it. Scalar is never null. For tests and benches.
+ */
+const SimdOps *simdOpsFor(SimdLevel level);
+
+/** Dispatched 64x64 transpose (see `transpose64Scalar` for layout). */
+inline void
+transpose64(std::uint64_t rows[64])
+{
+    simdOps().transpose64(rows);
 }
 
 } // namespace bits

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 #include <unordered_map>
 
@@ -63,6 +64,76 @@ quantize(double bvr)
 {
     return static_cast<std::uint32_t>(
         std::lround(bvr * static_cast<double>(1u << 20)));
+}
+
+/**
+ * Binary entropy with the Eq. 1 log base: exactly the floating-point
+ * operations of `shannonEntropyBaseV({p, 1.0 - p})`, in the same
+ * order, without materializing the two-element vector. Bit-identical
+ * to the vector form (asserted in tests/window_entropy_test.cc);
+ * allocation-free because this runs once per window slide inside the
+ * search's candidate-scoring tail, where a heap allocation per window
+ * dominates once the plane sweep itself is fast.
+ */
+inline double
+binaryEntropyBaseV(double p)
+{
+    std::size_t v = 0;
+    double h_num = 0.0;
+    if (p > 0.0) {
+        ++v;
+        h_num -= p * std::log(p);
+    }
+    const double q = 1.0 - p;
+    if (q > 0.0) {
+        ++v;
+        h_num -= q * std::log(q);
+    }
+    if (v <= 1)
+        return 0.0;
+    return std::min(1.0,
+                    std::max(0.0,
+                             h_num / std::log(static_cast<double>(v))));
+}
+
+/**
+ * Memoized `binaryEntropyBaseV`: a direct-mapped, thread-local cache
+ * keyed on the exact bit pattern of `p`. A hit returns the double a
+ * previous identical input produced; a miss computes and stores it —
+ * either way the result equals `binaryEntropyBaseV(p)` bit for bit,
+ * so memoization cannot change any profile or search trajectory. It
+ * pays because window means repeat massively in practice: TB BVR
+ * series are periodic (tiled synth kernels, repeated CTAs), and the
+ * search re-scores the same row masks across moves and restarts —
+ * while the two `std::log` calls per window slide are what dominates
+ * a candidate evaluation once the plane sweep itself is fast.
+ *
+ * Collisions just overwrite (direct-mapped); zero-initialized keys
+ * are unreachable because callers guard p > 0 (the bit pattern of
+ * +0.0 is 0, and any p > 0.0 — including denormals — has a nonzero
+ * pattern).
+ */
+double
+binaryEntropyMemo(double p)
+{
+    struct Entry
+    {
+        std::uint64_t key;
+        double h;
+    };
+    constexpr std::size_t kSlotBits = 14;
+    static thread_local Entry cache[std::size_t{1} << kSlotBits];
+
+    std::uint64_t pat;
+    std::memcpy(&pat, &p, sizeof pat);
+    const std::size_t idx = static_cast<std::size_t>(
+        (pat * 0x9E3779B97F4A7C15ull) >> (64 - kSlotBits));
+    Entry &e = cache[idx];
+    if (e.key != pat) {
+        e.key = pat;
+        e.h = binaryEntropyBaseV(p);
+    }
+    return e.h;
 }
 
 /** Entropy (Eq. 1) of one window of quantized BVRs; scratch is reused. */
@@ -200,7 +271,7 @@ windowBitEntropy(const std::vector<double> &bvr_per_tb, unsigned window)
     for (std::size_t i = 0;; ++i) {
         const double p = sum_bvr / static_cast<double>(w);
         if (p > 0.0 && p < 1.0)
-            total += shannonEntropyBaseV({p, 1.0 - p});
+            total += binaryEntropyMemo(p);
         if (i + 1 >= windows)
             break;
         sum_bvr += bvr_per_tb[i + w] - bvr_per_tb[i];

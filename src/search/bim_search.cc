@@ -102,6 +102,15 @@ exportStatsToRegistry(const SearchStats &s)
     metrics::counter("search.anneal_us").add(us(s.annealSeconds));
     metrics::counter("search.polish_us").add(us(s.polishSeconds));
     metrics::counter("search.total_us").add(us(s.totalSeconds));
+    metrics::counter("search.plane_toggles").add(s.planeToggles);
+    metrics::counter("search.plane_xors").add(s.planeXors);
+    metrics::counter("search.plane_rebuilds").add(s.planeRebuilds);
+    // Throughput of the finished run (last-writer-wins gauge): the
+    // headline evaluations/sec the throughput bench tracks.
+    if (s.totalSeconds > 0.0)
+        metrics::gauge("search.evals_per_sec")
+            .set(static_cast<std::int64_t>(
+                static_cast<double>(s.evaluations) / s.totalSeconds));
     if (s.deadlineHit)
         metrics::counter("search.deadline_hits").inc();
     if (s.capped)
@@ -184,13 +193,16 @@ double
 BimSearch::identityCost() const
 {
     const std::size_t nt = targets_.size();
+    std::vector<std::uint64_t> masks(nt);
+    for (std::size_t i = 0; i < nt; ++i)
+        masks[i] = std::uint64_t{1} << targets_[i];
     std::vector<double> ent(nt);
     std::vector<double> member_costs(planes_.size());
     for (std::size_t m = 0; m < planes_.size(); ++m) {
-        for (std::size_t i = 0; i < nt; ++i)
-            ent[i] = planes_[m]->rowEntropy(
-                std::uint64_t{1} << targets_[i], opts.window,
-                opts.metric);
+        // One fused sweep per member (bit-identical to per-row
+        // rowEntropy — see trace_planes.hh).
+        planes_[m]->rowEntropyBatch(masks, opts.window, opts.metric,
+                                    ent.data());
         member_costs[m] = objective.memberCost(ent, 0);
     }
     return objective.combine(member_costs);
@@ -215,17 +227,67 @@ BimSearch::runChain(unsigned restart, bool greedy) const
     SearchStats stats;
     const std::uint64_t budget = chainBudget(greedy);
 
+    // From-scratch oracle scoring (the planeCache = false path, and
+    // the reference the cached path is tested against).
     const auto evalRow = [&](std::size_t m, std::uint64_t row) {
         ++stats.evaluations;
         return planes_[m]->rowEntropy(row, opts.window, opts.metric);
     };
+
+    // Incremental plane cache (SearchOptions::planeCache): for every
+    // (member, target slot) the XOR-combined output plane of the
+    // current row plus its exact per-TB one-counts, and one candidate
+    // scratch row per member. Proposals derive the candidate from a
+    // cached plane in O(one plane); accepts swap the scratch row into
+    // the cache in O(1) vector swaps. One-counts are exact integers,
+    // so every entropy value equals the oracle's bit for bit.
+    struct RowCache
+    {
+        std::vector<std::uint64_t> plane; ///< combined output plane
+        std::vector<std::uint64_t> ones;  ///< per-TB one-counts
+    };
+    const bool use_cache = opts.planeCache;
+    std::vector<RowCache> cache;   // [m * nt + i], rows of cur
+    std::vector<RowCache> scratch; // [m], the proposed row
+    if (use_cache) {
+        cache.resize(nm * nt);
+        scratch.resize(nm);
+        for (std::size_t m = 0; m < nm; ++m) {
+            const std::size_t pw = planes_[m]->planeWords();
+            const std::size_t tc = planes_[m]->tbCount();
+            scratch[m].plane.resize(pw);
+            scratch[m].ones.resize(tc);
+            for (std::size_t i = 0; i < nt; ++i) {
+                cache[m * nt + i].plane.resize(pw);
+                cache[m * nt + i].ones.resize(tc);
+            }
+        }
+    }
+
+    // (Re)combine cache slot (m, i) from scratch and score it — the
+    // cache seeding path (setup and the polish reseed).
+    const auto rebuildSlot = [&](std::size_t m, std::size_t i,
+                                 std::uint64_t row) {
+        RowCache &rc = cache[m * nt + i];
+        planes_[m]->combineRow(row, rc.plane.data(), rc.ones.data());
+        ++stats.planeRebuilds;
+        return planes_[m]->entropyFromOnes(rc.ones.data(),
+                                           opts.window, opts.metric);
+    };
+
     const auto finishChain = [&](Chain &c) {
         c.gates = gateCount(c.rows);
         c.ent.resize(nm * nt);
         c.memberCost.resize(nm);
         for (std::size_t m = 0; m < nm; ++m) {
-            for (std::size_t i = 0; i < nt; ++i)
-                c.ent[m * nt + i] = evalRow(m, c.rows[i]);
+            for (std::size_t i = 0; i < nt; ++i) {
+                if (use_cache) {
+                    ++stats.evaluations;
+                    c.ent[m * nt + i] = rebuildSlot(m, i, c.rows[i]);
+                } else {
+                    c.ent[m * nt + i] = evalRow(m, c.rows[i]);
+                }
+            }
             c.memberCost[m] = objective.memberCost(
                 std::span<const double>(c.ent.data() + m * nt, nt),
                 c.gates);
@@ -280,23 +342,27 @@ BimSearch::runChain(unsigned restart, bool greedy) const
     const double t0 = std::max(opts.initialTemp, 1e-12);
     const double tf =
         std::min(std::max(opts.finalTemp, 1e-12), t0);
-    std::vector<double> ent_scratch(nm * nt);
     std::vector<double> mc_scratch(nm);
     std::vector<double> new_ent(nm);
+    std::vector<double> old_ent(nm);
 
     // One Metropolis step at `temp` (0 = strict-improvement only).
+    // Proposals are scored by editing the touched `cur.ent` slots in
+    // place and restoring exactly those slots on reject — the nm x nt
+    // matrix is never cloned per proposal.
     const auto step = [&](double temp) {
         // Propose one invertibility-preserving move (bim_search.hh).
         const unsigned kind = static_cast<unsigned>(rng.below(4));
         std::size_t i = static_cast<std::size_t>(rng.below(nt));
         std::size_t j = i;
         std::uint64_t new_row = 0;
+        unsigned toggle_bit = 0;
         bool swap_move = false;
         if (kind <= 1) {
             // Tap toggle: flip one candidate tap of row i.
-            const unsigned b = candidateBits[static_cast<std::size_t>(
+            toggle_bit = candidateBits[static_cast<std::size_t>(
                 rng.below(candidateBits.size()))];
-            new_row = cur.rows[i] ^ (std::uint64_t{1} << b);
+            new_row = cur.rows[i] ^ (std::uint64_t{1} << toggle_bit);
         } else if (kind == 2 && nt > 1) {
             // Row XOR: an elementary row operation.
             do {
@@ -321,13 +387,13 @@ BimSearch::runChain(unsigned restart, bool greedy) const
             // is invariant under row permutation, so no rank check is
             // needed (or possible to fail) here — the final
             // invertible() audit below still covers the result.
-            ent_scratch = cur.ent;
+            // Entropy values travel with the rows: swap the two slots
+            // in place (swapped back below if rejected).
             for (std::size_t m = 0; m < nm; ++m) {
-                std::swap(ent_scratch[m * nt + i],
-                          ent_scratch[m * nt + j]);
+                std::swap(cur.ent[m * nt + i], cur.ent[m * nt + j]);
                 mc_scratch[m] = objective.memberCost(
                     std::span<const double>(
-                        ent_scratch.data() + m * nt, nt),
+                        cur.ent.data() + m * nt, nt),
                     cur.gates);
             }
             new_cost = objective.combine(mc_scratch);
@@ -348,13 +414,37 @@ BimSearch::runChain(unsigned restart, bool greedy) const
                 static_cast<unsigned>(std::popcount(new_row));
             new_gates = cur.gates - (old_taps > 1 ? old_taps - 1 : 0) +
                         (new_taps > 1 ? new_taps - 1 : 0);
-            ent_scratch = cur.ent;
             for (std::size_t m = 0; m < nm; ++m) {
-                new_ent[m] = evalRow(m, new_row);
-                ent_scratch[m * nt + i] = new_ent[m];
+                if (use_cache) {
+                    // Derive the candidate plane from cached state:
+                    // a tap toggle XORs in exactly one input plane,
+                    // a row XOR combines two cached output planes.
+                    ++stats.evaluations;
+                    RowCache &base = cache[m * nt + i];
+                    RowCache &cand = scratch[m];
+                    if (kind <= 1) {
+                        planes_[m]->toggleRow(base.plane.data(),
+                                              toggle_bit,
+                                              cand.plane.data(),
+                                              cand.ones.data());
+                        ++stats.planeToggles;
+                    } else {
+                        planes_[m]->xorRows(
+                            base.plane.data(),
+                            cache[m * nt + j].plane.data(),
+                            cand.plane.data(), cand.ones.data());
+                        ++stats.planeXors;
+                    }
+                    new_ent[m] = planes_[m]->entropyFromOnes(
+                        cand.ones.data(), opts.window, opts.metric);
+                } else {
+                    new_ent[m] = evalRow(m, new_row);
+                }
+                old_ent[m] = cur.ent[m * nt + i];
+                cur.ent[m * nt + i] = new_ent[m];
                 mc_scratch[m] = objective.memberCost(
                     std::span<const double>(
-                        ent_scratch.data() + m * nt, nt),
+                        cur.ent.data() + m * nt, nt),
                     new_gates);
             }
             new_cost = objective.combine(mc_scratch);
@@ -364,18 +454,34 @@ BimSearch::runChain(unsigned restart, bool greedy) const
         const bool accept =
             dc < 0.0 ||
             (temp > 0.0 && rng.uniform() < std::exp(-dc / temp));
-        if (!accept)
+        if (!accept) {
+            // Restore only the slots this proposal touched.
+            if (swap_move) {
+                for (std::size_t m = 0; m < nm; ++m)
+                    std::swap(cur.ent[m * nt + i],
+                              cur.ent[m * nt + j]);
+            } else {
+                for (std::size_t m = 0; m < nm; ++m)
+                    cur.ent[m * nt + i] = old_ent[m];
+            }
             return;
+        }
         ++stats.accepted;
         if (swap_move) {
             std::swap(cur.rows[i], cur.rows[j]);
-            for (std::size_t m = 0; m < nm; ++m)
-                std::swap(cur.ent[m * nt + i], cur.ent[m * nt + j]);
+            if (use_cache)
+                for (std::size_t m = 0; m < nm; ++m)
+                    std::swap(cache[m * nt + i], cache[m * nt + j]);
         } else {
             cur.rows[i] = new_row;
-            for (std::size_t m = 0; m < nm; ++m)
-                cur.ent[m * nt + i] = new_ent[m];
             cur.gates = new_gates;
+            if (use_cache)
+                for (std::size_t m = 0; m < nm; ++m) {
+                    std::swap(cache[m * nt + i].plane,
+                              scratch[m].plane);
+                    std::swap(cache[m * nt + i].ones,
+                              scratch[m].ones);
+                }
         }
         cur.memberCost = mc_scratch;
         cur.cost = new_cost;
@@ -434,7 +540,16 @@ BimSearch::runChain(unsigned restart, bool greedy) const
                                              : std::string(),
                             "search");
     if (!greedy) {
+        // Jumping back to the best state invalidates the plane cache
+        // (it tracks the pre-jump cur). Recombine every slot — these
+        // re-derive entropy values already counted during the walk,
+        // so they are rebuilds, not evaluations.
+        const bool cache_stale = use_cache && cur.rows != best.rows;
         cur = best;
+        if (cache_stale)
+            for (std::size_t m = 0; m < nm; ++m)
+                for (std::size_t i = 0; i < nt; ++i)
+                    rebuildSlot(m, i, cur.rows[i]);
         for (unsigned k = 0; k < iters / 3 + 1; ++k) {
             if (stopRequested())
                 break;
@@ -526,6 +641,9 @@ BimSearch::anneal() const
         total.setupEvaluations += s.stats.setupEvaluations;
         total.annealEvaluations += s.stats.annealEvaluations;
         total.polishEvaluations += s.stats.polishEvaluations;
+        total.planeToggles += s.stats.planeToggles;
+        total.planeXors += s.stats.planeXors;
+        total.planeRebuilds += s.stats.planeRebuilds;
     }
     out.stats = total;
     out.identityCost = identityCost();

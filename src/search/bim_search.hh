@@ -149,6 +149,22 @@ struct SearchOptions
     unsigned threads = 0;
 
     /**
+     * Incremental output-plane caching (the PR 10 fast path): each
+     * chain keeps, per (member, target slot), the XOR-combined output
+     * plane and its per-TB one-counts, so a tap-toggle proposal XORs
+     * in exactly one input plane and a row-XOR proposal XORs two
+     * cached planes — O(one plane) instead of O(taps planes) per
+     * evaluation. One-counts are exact integers, so the cached path
+     * is bit-identical to the from-scratch `rowEntropy` oracle:
+     * trajectories, results and `SearchStats::evaluations` are
+     * unchanged with the cache on or off (asserted in
+     * `tests/bim_search_test.cc`), which is why toggling this knob
+     * does NOT bump `kSearchVersion`. Off = score every proposal via
+     * the oracle (the slow reference leg for tests and benches).
+     */
+    bool planeCache = true;
+
+    /**
      * Optional cooperative cancellation/deadline token (non-owning;
      * must outlive the search). A fired token makes every chain stop
      * at its next move boundary and the search *degrade, never
@@ -200,6 +216,20 @@ struct SearchStats
     std::uint64_t setupEvaluations = 0;
     std::uint64_t annealEvaluations = 0;
     std::uint64_t polishEvaluations = 0;
+
+    /**
+     * Plane-cache accounting (zero when `planeCache` is off): how
+     * each evaluation's output plane was produced. `planeToggles` /
+     * `planeXors` count O(one plane) incremental updates (per member
+     * per proposal); `planeRebuilds` counts full `combineRow`
+     * recombines — the setup scoring plus the polish-phase reseed,
+     * where the chain jumps back to its best state and the cache must
+     * be rebuilt. Rebuilds during polish re-derive already-counted
+     * entropy values, so they do not add to `evaluations`.
+     */
+    std::uint64_t planeToggles = 0;
+    std::uint64_t planeXors = 0;
+    std::uint64_t planeRebuilds = 0;
 };
 
 /** Outcome of `BimSearch::anneal` or `BimSearch::greedy`. */

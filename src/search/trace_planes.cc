@@ -1,11 +1,12 @@
 #include "search/trace_planes.hh"
 
 #include <algorithm>
-#include <bit>
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
+#include <utility>
 
-#include "common/bitops.hh"
+#include "common/metrics.hh"
 #include "common/thread_pool.hh"
 
 namespace valley {
@@ -13,33 +14,41 @@ namespace search {
 
 namespace {
 
+/** Extraction staging buffer for one TB (pre-arena). */
+struct TbStage
+{
+    std::uint64_t requests = 0;
+    std::uint32_t words = 0;
+    std::vector<std::uint64_t> bits;
+};
+
 /**
  * Extract the bit planes of one TB: buffer 64 addresses, transpose
- * them with `bits::transpose64`, and append lane `b` to plane `b`.
- * The tail block is zero-padded, so pad lanes carry no one-bits and
- * the popcount-derived one-counts stay exact at any stream length.
+ * them with the selected kernel table, and append lane `b` to plane
+ * `b`. The tail block is zero-padded, so pad lanes carry no one-bits
+ * and the popcount-derived one-counts stay exact at any stream
+ * length.
  */
 void
 extractTb(const Kernel &kernel, TbId tb, unsigned nbits,
-          std::uint64_t &requests_out,
-          std::uint32_t &words_out, std::vector<std::uint64_t> &planes)
+          const bits::SimdOps &ops, TbStage &out)
 {
     const TbTrace trace = kernel.trace(tb);
     const std::uint64_t requests = trace.requestCount();
     const std::uint32_t words =
         static_cast<std::uint32_t>((requests + 63) / 64);
-    planes.assign(static_cast<std::size_t>(nbits) * words, 0);
+    out.bits.assign(static_cast<std::size_t>(nbits) * words, 0);
 
     std::uint64_t block[64];
     unsigned fill = 0;
     std::uint32_t word = 0;
     const auto flush = [&] {
         std::fill(block + fill, block + 64, 0);
-        bits::transpose64(block);
+        ops.transpose64(block);
         // After the transpose, bit r of block[c] is bit c of address
         // r: block[c] is the 64-request lane of address bit c.
         for (unsigned b = 0; b < nbits; ++b)
-            planes[static_cast<std::size_t>(b) * words + word] =
+            out.bits[static_cast<std::size_t>(b) * words + word] =
                 block[b];
         ++word;
         fill = 0;
@@ -54,8 +63,8 @@ extractTb(const Kernel &kernel, TbId tb, unsigned nbits,
     if (fill > 0)
         flush();
     assert(word == words);
-    requests_out = requests;
-    words_out = words;
+    out.requests = requests;
+    out.words = words;
 }
 
 /** TB-range task granularity, matching workloads/profiler.cc. */
@@ -65,25 +74,28 @@ constexpr unsigned kTbsPerTask = 256;
 
 TracePlanes::TracePlanes(const Workload &workload,
                          const PlaneOptions &opts)
-    : nbits(opts.numBits)
+    : nbits(opts.numBits),
+      ops(opts.forceScalar ? &bits::scalarSimdOps() : &bits::simdOps())
 {
     if (nbits == 0 || nbits > 64)
         throw std::invalid_argument("TracePlanes: bad bit width");
 
     const auto &ks = workload.kernels();
     kernels.resize(ks.size());
+
+    // Stage 1: generate + transpose every TB trace into per-TB
+    // staging buffers. Traces are expensive to generate, so they are
+    // produced exactly once; the arena pass below only copies words.
+    std::vector<std::vector<TbStage>> staged(ks.size());
     std::size_t tb_tasks = 0;
     for (std::size_t ki = 0; ki < ks.size(); ++ki) {
-        kernels[ki].tbs.resize(ks[ki].numTbs());
+        staged[ki].resize(ks[ki].numTbs());
         tb_tasks += (ks[ki].numTbs() + kTbsPerTask - 1) / kTbsPerTask;
     }
 
     const auto extractRange = [&](std::size_t ki, TbId lo, TbId hi) {
-        for (TbId tb = lo; tb < hi; ++tb) {
-            TbPlanes &slot = kernels[ki].tbs[tb];
-            extractTb(ks[ki], tb, nbits, slot.requests, slot.words,
-                      slot.bits);
-        }
+        for (TbId tb = lo; tb < hi; ++tb)
+            extractTb(ks[ki], tb, nbits, *ops, staged[ki][tb]);
     };
 
     const unsigned threads = opts.threads == 0
@@ -105,58 +117,257 @@ TracePlanes::TracePlanes(const Workload &workload,
         pool.run();
     }
 
-    for (KernelPlanes &k : kernels) {
-        for (const TbPlanes &tb : k.tbs)
-            k.requests += tb.requests;
+    // Stage 2 (serial): pack each kernel's staged planes into one
+    // contiguous plane-major arena — bit b's strip holds every TB's
+    // lane words in TB-id order, so incremental moves stream one
+    // strip sequentially. Staging buffers are released as they are
+    // copied, so the transient overhead shrinks TB by TB.
+    for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+        KernelPlanes &k = kernels[ki];
+        k.tbBase = tb_count;
+        k.rowBase = plane_words;
+        k.tbs.resize(staged[ki].size());
+        k.uniform = !k.tbs.empty();
+        for (std::size_t t = 0; t < staged[ki].size(); ++t) {
+            const TbStage &s = staged[ki][t];
+            TbView &v = k.tbs[t];
+            v.requests = s.requests;
+            v.words = s.words;
+            v.rowOff = plane_words;
+            k.kwords += s.words;
+            k.uniform = k.uniform && s.words == 1;
+            plane_words += s.words;
+            k.requests += s.requests;
+        }
+        k.arena.resize(static_cast<std::size_t>(nbits) * k.kwords);
+        for (std::size_t t = 0; t < staged[ki].size(); ++t) {
+            TbStage &s = staged[ki][t];
+            const std::size_t lo = k.tbs[t].rowOff - k.rowBase;
+            for (unsigned b = 0; b < nbits; ++b)
+                std::memcpy(
+                    k.arena.data() +
+                        static_cast<std::size_t>(b) * k.kwords + lo,
+                    s.bits.data() +
+                        static_cast<std::size_t>(b) * s.words,
+                    s.words * sizeof(std::uint64_t));
+            std::vector<std::uint64_t>().swap(s.bits);
+        }
+        tb_count += k.tbs.size();
         requests_ += k.requests;
     }
+
+    metrics::gauge("search.plane_bytes")
+        .add(static_cast<std::int64_t>(planeBytes()));
 }
 
-double
-TracePlanes::tbBvr(const TbPlanes &tb, std::uint64_t row_mask)
+TracePlanes::TracePlanes(TracePlanes &&other) noexcept
+    : nbits(other.nbits), requests_(other.requests_),
+      tb_count(other.tb_count), plane_words(other.plane_words),
+      ops(other.ops), kernels(std::move(other.kernels))
 {
-    if (tb.requests == 0)
-        return 0.0;
-    const std::uint32_t words = tb.words;
-    const std::uint64_t *data = tb.bits.data();
-    std::uint64_t ones = 0;
-    // XOR the tapped input planes word-by-word; the popcount of the
-    // combined lane is the output bit's one-count over 64 requests.
-    for (std::uint32_t w = 0; w < words; ++w) {
-        std::uint64_t x = 0;
-        for (std::uint64_t m = row_mask; m != 0; m &= m - 1) {
-            const unsigned b =
-                static_cast<unsigned>(std::countr_zero(m));
-            x ^= data[static_cast<std::size_t>(b) * words + w];
-        }
-        ones += static_cast<std::uint64_t>(std::popcount(x));
-    }
-    return static_cast<double>(ones) /
-           static_cast<double>(tb.requests);
+    // The arena merely changed owner; the resident-bytes gauge is
+    // unchanged, and the moved-from side must no longer subtract.
+    other.kernels.clear();
+    other.tb_count = 0;
+    other.plane_words = 0;
+    other.requests_ = 0;
 }
 
-double
-TracePlanes::rowEntropy(std::uint64_t row_mask, unsigned window,
-                        EntropyMetric metric) const
+TracePlanes &
+TracePlanes::operator=(TracePlanes &&other) noexcept
+{
+    if (this != &other) {
+        releaseGauge();
+        nbits = other.nbits;
+        requests_ = other.requests_;
+        tb_count = other.tb_count;
+        plane_words = other.plane_words;
+        ops = other.ops;
+        kernels = std::move(other.kernels);
+        other.kernels.clear();
+        other.tb_count = 0;
+        other.plane_words = 0;
+        other.requests_ = 0;
+    }
+    return *this;
+}
+
+TracePlanes::~TracePlanes() { releaseGauge(); }
+
+void
+TracePlanes::releaseGauge() noexcept
+{
+    const std::uint64_t bytes = planeBytes();
+    if (bytes != 0)
+        metrics::gauge("search.plane_bytes")
+            .add(-static_cast<std::int64_t>(bytes));
+}
+
+std::uint64_t
+TracePlanes::planeBytes() const
+{
+    std::uint64_t bytes = 0;
+    for (const KernelPlanes &k : kernels)
+        bytes += k.arena.size() * sizeof(std::uint64_t);
+    return bytes;
+}
+
+namespace {
+
+/**
+ * Gather the strip segment pointers a row mask taps for one TB —
+ * plane `b` of the TB starts at `arena + b * kwords + local_off`.
+ * Returns the tap count; `srcs` must hold 64 slots.
+ */
+inline std::size_t
+gatherTaps(const std::uint64_t *arena, std::size_t local_off,
+           std::size_t kwords, std::uint64_t row_mask,
+           const std::uint64_t **srcs)
+{
+    std::size_t nsrc = 0;
+    for (std::uint64_t m = row_mask; m != 0; m &= m - 1) {
+        const unsigned b = static_cast<unsigned>(std::countr_zero(m));
+        srcs[nsrc++] =
+            arena + static_cast<std::size_t>(b) * kwords + local_off;
+    }
+    return nsrc;
+}
+
+/**
+ * XOR-fold the tapped plane words of a one-word TB. The per-TB loops
+ * below special-case `words == 1` through this instead of the
+ * dispatched `SimdOps` kernels: with 64-request TBs (every synth
+ * workload) a plane is a single word, and an indirect call per TB
+ * costs more than the XOR+popcount it performs. Plain integer ops, so
+ * the fast path is trivially bit-identical to the dispatched one.
+ */
+inline std::uint64_t
+foldOneWord(const std::uint64_t *arena, std::size_t local_off,
+            std::size_t kwords, std::uint64_t row_mask)
+{
+    std::uint64_t x = 0;
+    for (std::uint64_t m = row_mask; m != 0; m &= m - 1)
+        x ^= arena[static_cast<std::size_t>(
+                       static_cast<unsigned>(std::countr_zero(m))) *
+                       kwords +
+                   local_off];
+    return x;
+}
+
+} // namespace
+
+void
+TracePlanes::combineRow(std::uint64_t row_mask, std::uint64_t *plane,
+                        std::uint64_t *ones) const
 {
     assert((row_mask & ~bits::mask(nbits)) == 0 &&
            "row taps must be tracked bits");
+    const std::uint64_t *srcs[64];
+    for (const KernelPlanes &k : kernels) {
+        const std::uint64_t *arena = k.arena.data();
+        for (std::size_t t = 0; t < k.tbs.size(); ++t) {
+            const TbView &v = k.tbs[t];
+            const std::size_t lo = v.rowOff - k.rowBase;
+            if (v.words == 1) {
+                const std::uint64_t x =
+                    foldOneWord(arena, lo, k.kwords, row_mask);
+                plane[v.rowOff] = x;
+                ones[k.tbBase + t] =
+                    static_cast<std::uint64_t>(std::popcount(x));
+                continue;
+            }
+            const std::size_t nsrc =
+                gatherTaps(arena, lo, k.kwords, row_mask, srcs);
+            ones[k.tbBase + t] = ops->xorPopcountN(
+                srcs, nsrc, plane + v.rowOff, v.words);
+        }
+    }
+}
+
+void
+TracePlanes::toggleRow(const std::uint64_t *base, unsigned bit,
+                       std::uint64_t *dst, std::uint64_t *ones) const
+{
+    assert(bit < nbits && "toggled tap must be a tracked bit");
+    for (const KernelPlanes &k : kernels) {
+        const std::uint64_t *strip =
+            k.arena.data() + static_cast<std::size_t>(bit) * k.kwords;
+        if (k.uniform) {
+            // One-word TBs: XOR the whole strip and drop the per-word
+            // popcounts straight into the per-TB ones array.
+            ops->xorPopcountEach(base + k.rowBase, strip,
+                                 dst + k.rowBase, ones + k.tbBase,
+                                 k.kwords);
+            continue;
+        }
+        for (std::size_t t = 0; t < k.tbs.size(); ++t) {
+            const TbView &v = k.tbs[t];
+            const std::uint64_t *in = strip + (v.rowOff - k.rowBase);
+            if (v.words == 1) {
+                const std::uint64_t x = base[v.rowOff] ^ in[0];
+                dst[v.rowOff] = x;
+                ones[k.tbBase + t] =
+                    static_cast<std::uint64_t>(std::popcount(x));
+                continue;
+            }
+            ones[k.tbBase + t] = ops->xorPopcount2(
+                base + v.rowOff, in, dst + v.rowOff, v.words);
+        }
+    }
+}
+
+void
+TracePlanes::xorRows(const std::uint64_t *a, const std::uint64_t *b,
+                     std::uint64_t *dst, std::uint64_t *ones) const
+{
+    for (const KernelPlanes &k : kernels) {
+        if (k.uniform) {
+            ops->xorPopcountEach(a + k.rowBase, b + k.rowBase,
+                                 dst + k.rowBase, ones + k.tbBase,
+                                 k.kwords);
+            continue;
+        }
+        for (std::size_t t = 0; t < k.tbs.size(); ++t) {
+            const TbView &v = k.tbs[t];
+            if (v.words == 1) {
+                const std::uint64_t x = a[v.rowOff] ^ b[v.rowOff];
+                dst[v.rowOff] = x;
+                ones[k.tbBase + t] =
+                    static_cast<std::uint64_t>(std::popcount(x));
+                continue;
+            }
+            ones[k.tbBase + t] = ops->xorPopcount2(
+                a + v.rowOff, b + v.rowOff, dst + v.rowOff, v.words);
+        }
+    }
+}
+
+double
+TracePlanes::entropyFromOnes(const std::uint64_t *ones,
+                             unsigned window,
+                             EntropyMetric metric) const
+{
     // Mirror profileWorkload: per-kernel window entropy of the BVR
     // series, then EntropyProfile::combine's weighted average — same
     // operations in the same order, so the result is bit-identical to
     // the profiler's value for this output bit.
-    std::uint64_t total = 0;
-    for (const KernelPlanes &k : kernels)
-        total += k.requests;
+    const std::uint64_t total = requests_;
     if (total == 0)
         return 0.0;
 
     double combined = 0.0;
-    std::vector<double> series;
+    // Thread-local scratch: this runs once per candidate evaluation,
+    // where a heap allocation would rival the entropy math itself.
+    static thread_local std::vector<double> series;
     for (const KernelPlanes &k : kernels) {
         series.resize(k.tbs.size());
-        for (std::size_t t = 0; t < k.tbs.size(); ++t)
-            series[t] = tbBvr(k.tbs[t], row_mask);
+        for (std::size_t t = 0; t < k.tbs.size(); ++t) {
+            const TbView &v = k.tbs[t];
+            series[t] = v.requests == 0
+                            ? 0.0
+                            : static_cast<double>(ones[k.tbBase + t]) /
+                                  static_cast<double>(v.requests);
+        }
         const double e = metric == EntropyMetric::BvrDistribution
                              ? windowEntropy(series, window)
                              : windowBitEntropy(series, window);
@@ -165,6 +376,71 @@ TracePlanes::rowEntropy(std::uint64_t row_mask, unsigned window,
         combined += w * e;
     }
     return combined;
+}
+
+void
+TracePlanes::rowOnes(std::uint64_t row_mask, std::uint64_t *ones) const
+{
+    assert((row_mask & ~bits::mask(nbits)) == 0 &&
+           "row taps must be tracked bits");
+    const std::uint64_t *srcs[64];
+    for (const KernelPlanes &k : kernels) {
+        const std::uint64_t *arena = k.arena.data();
+        for (std::size_t t = 0; t < k.tbs.size(); ++t) {
+            const TbView &v = k.tbs[t];
+            const std::size_t lo = v.rowOff - k.rowBase;
+            if (v.words == 1) {
+                ones[k.tbBase + t] =
+                    static_cast<std::uint64_t>(std::popcount(
+                        foldOneWord(arena, lo, k.kwords, row_mask)));
+                continue;
+            }
+            const std::size_t nsrc =
+                gatherTaps(arena, lo, k.kwords, row_mask, srcs);
+            ones[k.tbBase + t] =
+                ops->xorPopcountN(srcs, nsrc, nullptr, v.words);
+        }
+    }
+}
+
+double
+TracePlanes::rowEntropy(std::uint64_t row_mask, unsigned window,
+                        EntropyMetric metric) const
+{
+    // From-scratch oracle: per-TB one-counts of the combined output
+    // plane (no plane materialized), then the shared entropy tail.
+    std::vector<std::uint64_t> ones(tb_count);
+    rowOnes(row_mask, ones.data());
+    return entropyFromOnes(ones.data(), window, metric);
+}
+
+void
+TracePlanes::rowEntropyBatch(std::span<const std::uint64_t> masks,
+                             unsigned window, EntropyMetric metric,
+                             double *out) const
+{
+    const std::size_t n = masks.size();
+    if (n == 0)
+        return;
+    // One shared one-count scratch for the whole batch: each mask
+    // sweeps the plane-major strips (sequential reads that stay hot
+    // across masks) and scores immediately — no per-candidate
+    // allocation, unlike a rowEntropy loop.
+    std::vector<std::uint64_t> ones(tb_count);
+    for (std::size_t mi = 0; mi < n; ++mi) {
+        rowOnes(masks[mi], ones.data());
+        out[mi] = entropyFromOnes(ones.data(), window, metric);
+    }
+}
+
+std::vector<double>
+TracePlanes::rowEntropyBatch(std::span<const std::uint64_t> masks,
+                             unsigned window,
+                             EntropyMetric metric) const
+{
+    std::vector<double> out(masks.size());
+    rowEntropyBatch(masks, window, metric, out.data());
+    return out;
 }
 
 EntropyProfile
@@ -177,8 +453,10 @@ TracePlanes::profileFor(const BitMatrix &m, unsigned window,
     EntropyProfile out;
     out.weight = requests_;
     out.perBit.resize(nbits);
+    std::vector<std::uint64_t> masks(nbits);
     for (unsigned r = 0; r < nbits; ++r)
-        out.perBit[r] = rowEntropy(m.row(r), window, metric);
+        masks[r] = m.row(r);
+    rowEntropyBatch(masks, window, metric, out.perBit.data());
     return out;
 }
 

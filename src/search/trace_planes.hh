@@ -17,6 +17,36 @@
  * ever touched again. A candidate row is scored in
  * O(taps x requests / 64 + #TBs) instead of O(requests x bits).
  *
+ * ## Arena layout
+ *
+ * All planes of one kernel live in a single contiguous arena
+ * allocation, **plane-major**: input bit `b`'s strip — every TB's
+ * lane words for that bit, in TB-id order — is the contiguous range
+ * `arena[b * kwords, (b + 1) * kwords)`, and a TB's segment sits at
+ * the same local word offset in every strip (its row-plane offset
+ * relative to the kernel). Incremental moves then stream: a
+ * tap-toggle reads one whole strip sequentially instead of taking a
+ * cache miss per TB (the strips of a large workload span megabytes,
+ * so a TB-major layout made every per-TB plane read a fresh line),
+ * and uniform one-word-per-TB kernels — every synth workload — XOR
+ * and popcount the strip through one `SimdOps::xorPopcountEach`
+ * call. Resident arena bytes are reported through the metrics
+ * registry gauge `search.plane_bytes` (added on construction,
+ * subtracted on destruction).
+ *
+ * ## Incremental scoring
+ *
+ * A full candidate row is `combineRow` (XOR of all tapped planes +
+ * per-TB one-counts); search move kinds then update a cached row in
+ * O(one plane): `toggleRow` XORs in exactly one input plane (a
+ * tap-toggle move), `xorRows` combines two cached rows (a row-XOR
+ * move). One-counts are exact integers, so a cached row's
+ * `entropyFromOnes` is bit-identical to `rowEntropy` recomputed from
+ * scratch — the oracle path, which stays as-is. `rowEntropyBatch`
+ * scores N masks over one shared one-count scratch while the strips
+ * stay cache-hot — no per-candidate allocation, which is what a loop
+ * of `rowEntropy` calls pays.
+ *
  * The arithmetic mirrors `workloads::profileWorkload` exactly: the
  * per-TB one-counts are the same integers the scalar and sliced
  * accumulators produce, the BVR division is the same, and the window
@@ -29,9 +59,11 @@
 #define VALLEY_SEARCH_TRACE_PLANES_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "bim/bit_matrix.hh"
+#include "common/bitops.hh"
 #include "entropy/window_entropy.hh"
 #include "workloads/workload.hh"
 
@@ -48,20 +80,34 @@ struct PlaneOptions
      * plane slot, so the result is bit-identical at any thread count.
      */
     unsigned threads = 0;
+    /**
+     * Pin this instance to the scalar kernel table regardless of CPU
+     * and environment — the in-process oracle leg for SIMD identity
+     * tests and benches. (All levels are bit-identical anyway; this
+     * exists so one process can time both paths.)
+     */
+    bool forceScalar = false;
 };
 
 /**
  * Transposed per-TB request planes of one workload.
  *
- * Immutable after construction; `rowEntropy`/`profileFor` are const
+ * Immutable after construction; the scoring entry points are const
  * and touch no shared mutable state, so one instance can be shared by
- * concurrent search restarts.
+ * concurrent search restarts. Callers owning incremental row caches
+ * pass their own plane/one-count storage in.
  */
 class TracePlanes
 {
   public:
     /** Generate and transpose every TB trace of `workload`. */
     TracePlanes(const Workload &workload, const PlaneOptions &opts);
+
+    TracePlanes(const TracePlanes &) = delete;
+    TracePlanes &operator=(const TracePlanes &) = delete;
+    TracePlanes(TracePlanes &&other) noexcept;
+    TracePlanes &operator=(TracePlanes &&other) noexcept;
+    ~TracePlanes();
 
     /** Tracked address-bit width (matrix size the planes can score). */
     unsigned numBits() const { return nbits; }
@@ -72,16 +118,78 @@ class TracePlanes
     /** Number of kernels represented. */
     std::size_t numKernels() const { return kernels.size(); }
 
+    /** Total TBs across all kernels (`ones` spans have this length). */
+    std::size_t tbCount() const { return tb_count; }
+
+    /**
+     * 64-request words in one combined row plane — the concatenation
+     * of every TB's lane, in (kernel, TB) order (`plane` buffers
+     * passed to the incremental entry points have this length).
+     */
+    std::size_t planeWords() const { return plane_words; }
+
+    /** Resident arena bytes (the `search.plane_bytes` gauge value). */
+    std::uint64_t planeBytes() const;
+
     /**
      * Window entropy of the output bit produced by XOR-combining the
      * input bits selected by `row_mask` (a `BitMatrix` row), averaged
      * across kernels weighted by request count — exactly the value
      * `profileWorkload` would report for that output bit under a
      * matrix containing this row. Bits of `row_mask` at or above
-     * `numBits()` must be clear.
+     * `numBits()` must be clear. The from-scratch oracle the
+     * incremental and batched paths are tested against.
      */
     double rowEntropy(std::uint64_t row_mask, unsigned window,
                       EntropyMetric metric) const;
+
+    /**
+     * Score `masks.size()` candidate row masks in one sweep over one
+     * shared one-count scratch (a `rowEntropy` loop allocates per
+     * call). `out[i]` is bit-identical to
+     * `rowEntropy(masks[i], window, metric)`.
+     */
+    void rowEntropyBatch(std::span<const std::uint64_t> masks,
+                         unsigned window, EntropyMetric metric,
+                         double *out) const;
+
+    /** Convenience overload returning a fresh vector. */
+    std::vector<double>
+    rowEntropyBatch(std::span<const std::uint64_t> masks,
+                    unsigned window, EntropyMetric metric) const;
+
+    /**
+     * Build the combined output plane of `row_mask` into
+     * `plane[0, planeWords())` and its exact per-TB one-counts into
+     * `ones[0, tbCount())`.
+     */
+    void combineRow(std::uint64_t row_mask, std::uint64_t *plane,
+                    std::uint64_t *ones) const;
+
+    /**
+     * `dst = base ^ inputPlane(bit)` with per-TB one-counts of the
+     * result — a tap-toggle move in O(one plane). `dst` may alias
+     * `base`.
+     */
+    void toggleRow(const std::uint64_t *base, unsigned bit,
+                   std::uint64_t *dst, std::uint64_t *ones) const;
+
+    /**
+     * `dst = a ^ b` with per-TB one-counts of the result — a row-XOR
+     * move on two cached rows. `dst` may alias either input.
+     */
+    void xorRows(const std::uint64_t *a, const std::uint64_t *b,
+                 std::uint64_t *dst, std::uint64_t *ones) const;
+
+    /**
+     * The entropy value of a row whose per-TB one-counts are `ones`
+     * (as produced by `combineRow`/`toggleRow`/`xorRows`).
+     * Bit-identical to `rowEntropy` of the same row: one-counts are
+     * exact integers, and the BVR division, window metric and kernel
+     * combination are the same operations in the same order.
+     */
+    double entropyFromOnes(const std::uint64_t *ones, unsigned window,
+                           EntropyMetric metric) const;
 
     /**
      * Full workload profile under matrix `m`: per output bit `r`,
@@ -92,26 +200,40 @@ class TracePlanes
                               EntropyMetric metric) const;
 
   private:
-    /** One TB's transposed trace: planes[b * words + w]. */
-    struct TbPlanes
+    /** One TB's view into its kernel's arena. */
+    struct TbView
     {
         std::uint64_t requests = 0;
         std::uint32_t words = 0; ///< 64-request words per bit plane
-        std::vector<std::uint64_t> bits;
+        std::size_t rowOff = 0;  ///< this TB's words in a row plane
     };
 
-    /** One kernel's TBs, ordered by TB id. */
+    /**
+     * One kernel's TBs (TB-id order) over one contiguous plane-major
+     * arena: bit `b`'s strip at `arena[b * kwords]`, TB `t`'s segment
+     * at local offset `tbs[t].rowOff - rowBase` within every strip.
+     */
     struct KernelPlanes
     {
-        std::vector<TbPlanes> tbs;
+        std::vector<TbView> tbs;
+        std::vector<std::uint64_t> arena;
         std::uint64_t requests = 0; ///< combine() weight
+        std::size_t tbBase = 0;     ///< first global TB index
+        std::size_t rowBase = 0;    ///< first word in a row plane
+        std::size_t kwords = 0;     ///< words per strip (sum of TBs)
+        bool uniform = false;       ///< every TB has words == 1
     };
 
-    /** BVR of `row_mask`'s output bit for one TB. */
-    static double tbBvr(const TbPlanes &tb, std::uint64_t row_mask);
+    /** Exact per-TB one-counts of `row_mask`'s combined output plane. */
+    void rowOnes(std::uint64_t row_mask, std::uint64_t *ones) const;
+
+    void releaseGauge() noexcept;
 
     unsigned nbits;
     std::uint64_t requests_ = 0;
+    std::size_t tb_count = 0;
+    std::size_t plane_words = 0;
+    const bits::SimdOps *ops; ///< kernel table (scalar if forced)
     std::vector<KernelPlanes> kernels;
 };
 

@@ -117,6 +117,91 @@ TEST(TracePlanes, ParallelExtractionBitIdenticalToSerial)
         EXPECT_EQ(pa.perBit[bit], pb.perBit[bit]);
 }
 
+TEST(TracePlanes, RowEntropyBatchMatchesRowEntropy)
+{
+    PlanesFixture s("MT");
+    XorShiftRng rng(17);
+    std::vector<std::uint64_t> masks;
+    for (int i = 0; i < 40; ++i)
+        masks.push_back(rng.next() & bits::mask(30));
+    masks.push_back(0); // degenerate all-zero row
+    for (const EntropyMetric metric :
+         {EntropyMetric::BitProbability,
+          EntropyMetric::BvrDistribution}) {
+        const std::vector<double> batched =
+            s.planes->rowEntropyBatch(masks, 12, metric);
+        ASSERT_EQ(batched.size(), masks.size());
+        for (std::size_t i = 0; i < masks.size(); ++i)
+            EXPECT_EQ(batched[i],
+                      s.planes->rowEntropy(masks[i], 12, metric))
+                << "mask " << i;
+    }
+}
+
+TEST(TracePlanes, IncrementalMovesMatchOracle)
+{
+    // Walk a row through the search's move kinds on cached planes:
+    // every intermediate entropyFromOnes value must equal the
+    // from-scratch rowEntropy of the mask the cache represents.
+    PlanesFixture s("MT");
+    const TracePlanes &p = *s.planes;
+    XorShiftRng rng(23);
+    std::vector<std::uint64_t> plane(p.planeWords());
+    std::vector<std::uint64_t> other(p.planeWords());
+    std::vector<std::uint64_t> ones(p.tbCount());
+    std::vector<std::uint64_t> ones2(p.tbCount());
+
+    std::uint64_t mask = rng.next() & bits::mask(30);
+    p.combineRow(mask, plane.data(), ones.data());
+    EXPECT_EQ(p.entropyFromOnes(ones.data(), 12,
+                                EntropyMetric::BitProbability),
+              p.rowEntropy(mask, 12, EntropyMetric::BitProbability));
+
+    // Tap toggles, including toggling the same bit back.
+    for (const unsigned bit : {3u, 17u, 29u, 17u, 0u}) {
+        p.toggleRow(plane.data(), bit, plane.data(), ones.data());
+        mask ^= std::uint64_t{1} << bit;
+        EXPECT_EQ(
+            p.entropyFromOnes(ones.data(), 12,
+                              EntropyMetric::BitProbability),
+            p.rowEntropy(mask, 12, EntropyMetric::BitProbability))
+            << "bit " << bit;
+        // The cached plane must be exactly what combineRow builds.
+        std::vector<std::uint64_t> fresh(p.planeWords());
+        p.combineRow(mask, fresh.data(), ones2.data());
+        EXPECT_EQ(plane, fresh) << "bit " << bit;
+        EXPECT_EQ(ones, ones2) << "bit " << bit;
+    }
+
+    // Row XOR against an independently combined row.
+    const std::uint64_t omask = rng.next() & bits::mask(30);
+    p.combineRow(omask, other.data(), ones2.data());
+    p.xorRows(plane.data(), other.data(), plane.data(), ones.data());
+    mask ^= omask;
+    EXPECT_EQ(p.entropyFromOnes(ones.data(), 12,
+                                EntropyMetric::BitProbability),
+              p.rowEntropy(mask, 12, EntropyMetric::BitProbability));
+}
+
+TEST(TracePlanes, ForceScalarBitIdenticalToDispatched)
+{
+    const auto wl = workloads::make("LU", kScale);
+    PlaneOptions dispatched{30, 1, false};
+    PlaneOptions scalar{30, 1, true};
+    const TracePlanes a(*wl, dispatched);
+    const TracePlanes b(*wl, scalar);
+    const BitMatrix id = BitMatrix::identity(30);
+    for (const EntropyMetric metric :
+         {EntropyMetric::BitProbability,
+          EntropyMetric::BvrDistribution}) {
+        const EntropyProfile pa = a.profileFor(id, 12, metric);
+        const EntropyProfile pb = b.profileFor(id, 12, metric);
+        for (std::size_t bit = 0; bit < pa.perBit.size(); ++bit)
+            EXPECT_EQ(pa.perBit[bit], pb.perBit[bit])
+                << "bit " << bit;
+    }
+}
+
 TEST(FlatnessObjective, RewardsFlatHighEntropy)
 {
     FlatnessObjective obj;
@@ -337,6 +422,52 @@ TEST(BimSearch, CancelledSearchDegradesToScoredInvertibleIncumbent)
     for (unsigned row = 0; row < layout.addrBits; ++row)
         if (!is_target[row])
             EXPECT_TRUE(r.bim.rowIsIdentity(row)) << "row " << row;
+}
+
+TEST(BimSearch, PlaneCacheOffBitIdenticalToOn)
+{
+    // The incremental row cache is a pure speedup: with it disabled
+    // every proposal is scored from scratch through the oracle, and
+    // the whole trajectory — matrix, cost, evaluation and acceptance
+    // counts — must not move, under either entropy metric.
+    const AddressLayout layout = gddr5();
+    for (const EntropyMetric metric :
+         {EntropyMetric::BitProbability,
+          EntropyMetric::BvrDistribution}) {
+        PlanesFixture s("MT", metric);
+        SearchOptions cached = defaultOptions(layout);
+        cached.threads = 1;
+        cached.restarts = 2;
+        cached.iterations = 300;
+        cached.metric = metric;
+        SearchOptions oracle = cached;
+        oracle.planeCache = false;
+        const BimSearch sc(layout, *s.planes,
+                           defaultObjective(layout), cached);
+        const BimSearch so(layout, *s.planes,
+                           defaultObjective(layout), oracle);
+
+        const SearchResult a = sc.anneal();
+        const SearchResult b = so.anneal();
+        EXPECT_TRUE(a.bim == b.bim);
+        EXPECT_EQ(a.cost, b.cost);
+        EXPECT_EQ(a.identityCost, b.identityCost);
+        EXPECT_EQ(a.stats.evaluations, b.stats.evaluations);
+        EXPECT_EQ(a.stats.accepted, b.stats.accepted);
+        // The cached run works through plane moves; the oracle run
+        // must not touch the incremental machinery at all.
+        EXPECT_GT(a.stats.planeToggles + a.stats.planeXors, 0u);
+        EXPECT_GT(a.stats.planeRebuilds, 0u);
+        EXPECT_EQ(b.stats.planeToggles, 0u);
+        EXPECT_EQ(b.stats.planeXors, 0u);
+        EXPECT_EQ(b.stats.planeRebuilds, 0u);
+
+        const SearchResult ga = sc.greedy();
+        const SearchResult gb = so.greedy();
+        EXPECT_TRUE(ga.bim == gb.bim);
+        EXPECT_EQ(ga.cost, gb.cost);
+        EXPECT_EQ(ga.stats.evaluations, gb.stats.evaluations);
+    }
 }
 
 TEST(BimSearch, UnfiredTokenLeavesTheSearchBitIdentical)

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/rng.hh"
 #include "entropy/window_entropy.hh"
@@ -232,6 +234,86 @@ TEST(WindowBitEntropy, EdgeCases)
     EXPECT_DOUBLE_EQ(windowBitEntropy({}, 4), 0.0);
     EXPECT_DOUBLE_EQ(windowBitEntropy({0.5}, 0), 0.0);
     EXPECT_DOUBLE_EQ(windowBitEntropy({0.0, 1.0}, 8), 1.0);
+}
+
+namespace {
+
+/**
+ * The pre-memoization windowBitEntropy: sliding BVR sum with the
+ * heap-allocating `shannonEntropyBaseV({p, 1 - p})` tail. The
+ * memoized production path must reproduce it bit for bit — the memo
+ * caches results keyed on the exact bit pattern of p, so a hit
+ * returns the very double a prior identical input produced.
+ */
+double
+windowBitEntropyReference(const std::vector<double> &bvr_per_tb,
+                          unsigned window)
+{
+    const std::size_t n = bvr_per_tb.size();
+    if (n == 0 || window == 0)
+        return 0.0;
+    const std::size_t w = std::min<std::size_t>(window, n);
+    const std::size_t windows = n - w + 1;
+    double sum_bvr = 0.0;
+    for (std::size_t i = 0; i < w; ++i)
+        sum_bvr += bvr_per_tb[i];
+    double total = 0.0;
+    for (std::size_t i = 0;; ++i) {
+        const double p = sum_bvr / static_cast<double>(w);
+        if (p > 0.0 && p < 1.0)
+            total += shannonEntropyBaseV({p, 1.0 - p});
+        if (i + 1 >= windows)
+            break;
+        sum_bvr += bvr_per_tb[i + w] - bvr_per_tb[i];
+    }
+    return total / static_cast<double>(windows);
+}
+
+} // namespace
+
+TEST(WindowBitEntropy, MemoizedTailMatchesVectorFormExactly)
+{
+    // Random request-count-style BVRs (k/64 with k uniform) repeat
+    // window means heavily — the memo-hit path — while fully random
+    // doubles in (0, 1) are almost all misses. Both must equal the
+    // reference bit for bit, across window sizes.
+    XorShiftRng rng(91);
+    for (const unsigned window : {1u, 2u, 5u, 12u, 64u}) {
+        for (int trial = 0; trial < 20; ++trial) {
+            std::vector<double> ratio(257), dense(257);
+            for (std::size_t i = 0; i < ratio.size(); ++i) {
+                ratio[i] =
+                    static_cast<double>(rng.below(65)) / 64.0;
+                dense[i] = rng.uniform();
+            }
+            ASSERT_EQ(windowBitEntropy(ratio, window),
+                      windowBitEntropyReference(ratio, window))
+                << "window=" << window << " trial=" << trial;
+            ASSERT_EQ(windowBitEntropy(dense, window),
+                      windowBitEntropyReference(dense, window))
+                << "window=" << window << " trial=" << trial;
+        }
+    }
+}
+
+TEST(WindowBitEntropy, MemoizedTailHandlesDenormals)
+{
+    // Denormal window means exercise the memo's key scheme at the
+    // bottom of the double range (every p > 0 has a nonzero bit
+    // pattern, including subnormals). log of a subnormal is finite,
+    // so the entropy term stays well-defined.
+    const double tiny = std::numeric_limits<double>::denorm_min();
+    const double sub = std::numeric_limits<double>::min() / 4.0;
+    for (const unsigned window : {1u, 2u, 4u}) {
+        const std::vector<double> series = {
+            tiny, 0.0, sub, tiny, 0.5, sub * 3.0, 0.0, tiny};
+        const double got = windowBitEntropy(series, window);
+        const double want = windowBitEntropyReference(series, window);
+        ASSERT_EQ(got, want) << "window=" << window;
+        ASSERT_TRUE(std::isfinite(got));
+        // Second call must hit the memo and return the same double.
+        ASSERT_EQ(windowBitEntropy(series, window), got);
+    }
 }
 
 TEST(KernelProfile, MetricSelection)

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "bim/compiled_transform.hh"
+#include "common/bitops.hh"
 #include "common/metrics.hh"
 #include "common/table.hh"
 #include "common/trace_span.hh"
@@ -115,6 +116,8 @@ Environment:
   VALLEY_CACHE=0       disable the on-disk profile/result caches
   VALLEY_CACHE_DIR=D   cache directory (default: ./cache)
   VALLEY_TRACE=FILE    same as --trace FILE
+  VALLEY_NO_SIMD=1     pin the scalar kernels (bit-identical; for
+                       benchmarking and SIMD triage)
 
 Exit status: 0 if the searched BIM strictly beats the identity
 mapping's entropy-flatness objective (and, for --set, does not
@@ -412,6 +415,15 @@ printSearchStats(const search::SearchResult &r)
                 ", polish %" PRIu64 "\n",
                 r.stats.setupEvaluations, r.stats.annealEvaluations,
                 r.stats.polishEvaluations);
+    const double secs = r.stats.totalSeconds;
+    std::printf("throughput: %.0f evals/s (simd %s); plane cache: %"
+                PRIu64 " toggles, %" PRIu64 " xors, %" PRIu64
+                " rebuilds\n",
+                secs > 0.0
+                    ? static_cast<double>(r.stats.evaluations) / secs
+                    : 0.0,
+                bits::simdOps().name, r.stats.planeToggles,
+                r.stats.planeXors, r.stats.planeRebuilds);
 }
 
 /** Mean of `p.meanOver(targets)` across member profiles. */
